@@ -1,0 +1,54 @@
+"""Table 3: recovery from the six attack scenarios.
+
+Paper's row format: initial repair method, repaired?, and the number of
+users with conflicts — (0, 0, 0, 3, 0, 1) for (reflected XSS, stored XSS,
+CSRF, clickjacking, SQL injection, ACL error) with 100 users, 1 attacker,
+3 victims.
+"""
+
+import os
+
+from conftest import once, print_table
+
+from repro.workload.scenarios import run_scenario
+
+N_USERS = int(os.environ.get("REPRO_T3_USERS", "100"))
+
+EXPECTED_CONFLICTS = {
+    "reflected-xss": 0,
+    "stored-xss": 0,
+    "csrf": 0,
+    "clickjacking": 3,
+    "sql-injection": 0,
+    "acl-error": 1,
+}
+
+
+def run_one(attack_type):
+    outcome = run_scenario(attack_type, n_users=N_USERS, n_victims=3)
+    result = outcome.repair()
+    users_with_conflicts = len({c.client_id for c in result.conflicts})
+    method = (
+        "Admin-initiated undo"
+        if attack_type == "acl-error"
+        else "Retroactive patching"
+    )
+    return (attack_type, method, "yes" if result.ok else "NO", users_with_conflicts)
+
+
+def test_table3_recovery(benchmark):
+    def measure():
+        return [run_one(attack) for attack in EXPECTED_CONFLICTS]
+
+    rows = once(benchmark, measure)
+    print_table(
+        f"Table 3: repair outcomes ({N_USERS} users; paper conflicts in parens)",
+        ["attack scenario", "initial repair", "repaired?", "users w/ conflicts"],
+        [
+            (a, m, r, f"{c} (paper: {EXPECTED_CONFLICTS[a]})")
+            for a, m, r, c in rows
+        ],
+    )
+    for attack, _method, repaired, conflicts in rows:
+        assert repaired == "yes"
+        assert conflicts == EXPECTED_CONFLICTS[attack]

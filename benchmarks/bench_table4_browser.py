@@ -1,0 +1,61 @@
+"""Table 4: effectiveness of DOM-level browser re-execution (§8.3).
+
+Paper's grid (users with conflicts, 8 victims):
+
+    attack action   no-extension   no-text-merge   full WARP
+    read-only            8               0             0
+    append-only          8               8             0
+    overwrite            8               8             8
+"""
+
+import os
+
+from conftest import once, print_table
+
+from repro.workload.effectiveness import ATTACK_ACTIONS, CONFIGS, run_effectiveness
+
+N_VICTIMS = int(os.environ.get("REPRO_T4_VICTIMS", "8"))
+
+PAPER = {
+    ("read-only", "no-extension"): 8,
+    ("read-only", "no-merge"): 0,
+    ("read-only", "full"): 0,
+    ("append-only", "no-extension"): 8,
+    ("append-only", "no-merge"): 8,
+    ("append-only", "full"): 0,
+    ("overwrite", "no-extension"): 8,
+    ("overwrite", "no-merge"): 8,
+    ("overwrite", "full"): 8,
+}
+
+
+def test_table4_browser_effectiveness(benchmark):
+    def measure():
+        grid = {}
+        for action in ATTACK_ACTIONS:
+            for config in CONFIGS:
+                cell = run_effectiveness(action, config, n_victims=N_VICTIMS)
+                grid[(action, config)] = cell.victims_with_conflicts
+        return grid
+
+    grid = once(benchmark, measure)
+    rows = []
+    for action in ATTACK_ACTIONS:
+        rows.append(
+            (
+                action,
+                *(
+                    f"{grid[(action, config)]}/{N_VICTIMS} "
+                    f"(paper {PAPER[(action, config)]}/8)"
+                    for config in CONFIGS
+                ),
+            )
+        )
+    print_table(
+        "Table 4: users with conflicts by attack action and browser config",
+        ["attack action", "no extension", "no text merge", "full WARP"],
+        rows,
+    )
+    scale = N_VICTIMS / 8
+    for key, measured in grid.items():
+        assert measured == int(PAPER[key] * scale)

@@ -1,0 +1,87 @@
+"""Table 5: comparison with Akkuş & Goel's taint-tracking recovery (§8.4).
+
+Paper's rows (false positives without/with table-level whitelisting, and
+whether recovery needs user input):
+
+    Drupal lost voting info      89 / 0    user input: yes   WARP: 0, no
+    Drupal lost comments         95 / 0    user input: yes   WARP: 0, no
+    Gallery2 removing perms      82 / 10   user input: yes   WARP: 0, no
+    Gallery2 resizing images     119 / 0   user input: yes   WARP: 0, no
+
+The absolute FP counts scale with the post-bug workload size; the bench
+uses a workload sized to land in the paper's range, and asserts the
+qualitative pattern: FPs without whitelisting for every bug, residual FPs
+for the permissions bug even with whitelisting, zero FPs and no user input
+for WARP, and no false negatives anywhere.
+"""
+
+import os
+
+from conftest import once, print_table
+
+from repro.workload.comparison import BUGS, run_corruption_scenario
+
+N_AFTER = int(os.environ.get("REPRO_T5_VIEWS", "90"))
+
+PAPER = {
+    "drupal-voting": (89, 0),
+    "drupal-comments": (95, 0),
+    "gallery-perms": (82, 10),
+    "gallery-resize": (119, 0),
+}
+
+
+def test_table5_comparison(benchmark):
+    def measure():
+        rows = []
+        for bug in BUGS:
+            outcome = run_corruption_scenario(bug, n_after=N_AFTER)
+            plain = outcome.taint_report(whitelisted=False)
+            whitelisted = outcome.taint_report(whitelisted=True)
+            repair = outcome.warp_repair()
+            restored = outcome.verify_restored()
+            rows.append(
+                {
+                    "bug": bug,
+                    "fp": plain.fp_count,
+                    "fp_wl": whitelisted.fp_count,
+                    "fn": plain.fn_count,
+                    "fn_wl": whitelisted.fn_count,
+                    "warp_ok": repair.ok and restored,
+                    "warp_conflicts": len(repair.conflicts),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, measure)
+    print_table(
+        f"Table 5: taint baseline vs WARP ({N_AFTER} post-bug views)",
+        [
+            "bug",
+            "baseline FP (no WL / WL)",
+            "paper FP",
+            "baseline input",
+            "WARP FP",
+            "WARP input",
+        ],
+        [
+            (
+                r["bug"],
+                f"{r['fp']} / {r['fp_wl']}",
+                f"{PAPER[r['bug']][0]} / {PAPER[r['bug']][1]}",
+                "yes",
+                0 if r["warp_ok"] else "FAIL",
+                "no" if r["warp_conflicts"] == 0 else "yes",
+            )
+            for r in rows
+        ],
+    )
+    for r in rows:
+        assert r["fn"] == 0 and r["fn_wl"] == 0, "baseline policy chosen has no FNs"
+        assert r["fp"] > 0, "baseline must over-approximate without whitelisting"
+        assert r["warp_ok"], f"WARP failed to restore {r['bug']}"
+        assert r["warp_conflicts"] == 0, "WARP repair needed no user input"
+        if r["bug"] == "gallery-perms":
+            assert r["fp_wl"] > 0, "perms FPs survive whitelisting (real data)"
+        else:
+            assert r["fp_wl"] == 0

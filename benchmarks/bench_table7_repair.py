@@ -1,0 +1,116 @@
+"""Table 7: repair performance for 100-user workloads (§8.5).
+
+Paper's shape targets, reproduced here:
+
+* isolated attacks (XSS, SQL injection, ACL error, victims at the end)
+  re-execute a tiny fraction of recorded actions, and repair takes an
+  order of magnitude *less* time than the original execution;
+* "victims at start" re-executes the same page visits but many more
+  database queries (partition dependencies), costing more DB time;
+* CSRF and clickjacking invalidate (nearly) everything: most actions
+  re-execute and repair is comparable to or slower than original
+  execution.
+
+The time breakdown columns mirror the paper's: Init, Graph, Firefox
+(browser re-execution), DB (standalone query re-execution), App, Ctrl.
+"""
+
+import os
+
+from conftest import once, print_table
+
+from repro.workload.scenarios import run_scenario
+
+N_USERS = int(os.environ.get("REPRO_T7_USERS", "100"))
+
+SCENARIOS = [
+    ("reflected-xss", "end"),
+    ("stored-xss", "end"),
+    ("sql-injection", "end"),
+    ("acl-error", "end"),
+    ("reflected-xss", "start"),
+    ("csrf", "end"),
+    ("clickjacking", "end"),
+]
+
+
+def run_one(attack, victims_at):
+    outcome = run_scenario(
+        attack, n_users=N_USERS, n_victims=3, victims_at=victims_at
+    )
+    result = outcome.repair()
+    stats = result.stats
+    row = stats.row()
+    label = attack if victims_at == "end" else f"{attack} (victims at start)"
+    return {
+        "label": label,
+        "visits": row["visits"],
+        "runs": row["runs"],
+        "queries": row["queries"],
+        "orig_s": outcome.original_exec_seconds,
+        "stats": stats,
+    }
+
+
+def test_table7_repair_performance(benchmark):
+    def measure():
+        return [run_one(attack, at) for attack, at in SCENARIOS]
+
+    rows = once(benchmark, measure)
+    print_table(
+        f"Table 7: repair performance, {N_USERS} users (times in seconds)",
+        [
+            "scenario",
+            "visits",
+            "runs",
+            "queries",
+            "orig",
+            "total",
+            "init",
+            "graph",
+            "firefox",
+            "db",
+            "app",
+            "ctrl",
+        ],
+        [
+            (
+                r["label"],
+                r["visits"],
+                r["runs"],
+                r["queries"],
+                f"{r['orig_s']:.2f}",
+                *(
+                    f"{r['stats'].breakdown()[k]:.4f}"
+                    for k in ("total", "init", "graph", "firefox", "db", "app", "ctrl")
+                ),
+            )
+            for r in rows
+        ],
+    )
+
+    by_label = {r["label"]: r for r in rows}
+
+    def reexec_fraction(r, key):
+        done, total = (int(x) for x in r[key].split(" / "))
+        return done / total
+
+    # Isolated attacks: tiny fraction re-executed, repair ≪ original time.
+    for label in ("reflected-xss", "stored-xss", "sql-injection", "acl-error"):
+        r = by_label[label]
+        assert reexec_fraction(r, "visits") < 0.10
+        assert r["stats"].total_seconds < r["orig_s"]
+
+    # Victims at start propagate through more DB queries than at end.
+    start = by_label["reflected-xss (victims at start)"]
+    end = by_label["reflected-xss"]
+    assert int(start["queries"].split(" / ")[0]) > int(end["queries"].split(" / ")[0])
+
+    # CSRF and clickjacking re-execute far more than the isolated attacks.
+    for label in ("csrf", "clickjacking"):
+        heavy = by_label[label]
+        assert reexec_fraction(heavy, "visits") > 0.15
+        assert (
+            int(heavy["runs"].split(" / ")[0])
+            > 10 * int(end["runs"].split(" / ")[0])
+        )

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_table*.py`` regenerates one table of the paper's evaluation
+(§8) and prints it in the paper's layout.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Absolute numbers differ from the paper (their substrate was Firefox +
+Apache + PHP + PostgreSQL on 2011 hardware; ours is a pure-Python
+simulation), but the *shapes* — who wins, by what rough factor, where the
+cost concentrates — are the reproduction targets.  EXPERIMENTS.md records
+paper-vs-measured for every row.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def print_table(title, headers, rows):
+    """Render an aligned text table to stdout."""
+    widths = [len(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in text_rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Administrator mistake and user-initiated undo (paper §5.5, §8.2).
+
+The administrator accidentally grants a user access to a protected page;
+the user exploits the window to edit it.  The administrator later cancels
+the offending page visit with WARP: the grant and every action it enabled
+are undone, and the user gets a queued conflict to resolve on next login.
+
+Also demonstrates the abort rule: a *regular user's* undo that would
+create conflicts for someone else is rolled back entirely.
+
+Run:  python examples/admin_undo.py
+"""
+
+from repro.apps.wiki import WikiApp
+from repro.warp import WarpSystem
+
+WIKI = "http://wiki.test"
+
+
+def login(warp, name, password):
+    browser = warp.client(f"{name}-browser")
+    browser.open(f"{WIKI}/login.php")
+    browser.type_into("input[name=wpName]", name)
+    browser.type_into("input[name=wpPassword]", password)
+    browser.submit("#loginform")
+    return browser
+
+
+def main() -> None:
+    warp = WarpSystem(origin=WIKI)
+    wiki = WikiApp(warp.ttdb, warp.scripts, warp.server)
+    wiki.install()
+    wiki.seed_user("admin", "admin-pw", admin=True)
+    wiki.seed_user("mallory", "mallory-pw")
+    wiki.seed_page("Secret", "launch codes: 0000", owner="admin", public=False)
+
+    # The administrator fat-fingers an ACL grant.
+    admin = login(warp, "admin", "admin-pw")
+    admin.open(f"{WIKI}/acl.php")
+    admin.type_into("input[name=title]", "Secret")
+    admin.type_into("input[name=user]", "mallory")  # oops — wrong user
+    grant_visit = admin.click("input[name=apply]")
+    print(f"admin granted mallory edit on Secret (visit {grant_visit.visit_id})")
+
+    # Mallory takes advantage.
+    mallory = login(warp, "mallory", "mallory-pw")
+    mallory.open(f"{WIKI}/edit.php?title=Secret")
+    mallory.type_into("textarea", "mallory was here")
+    mallory.click("input[name=save]")
+    print(f"mallory edited Secret: {wiki.page_text('Secret')!r}")
+
+    # The admin notices and undoes the *grant page visit* retroactively.
+    result = warp.cancel_visit(
+        "admin-browser", grant_visit.visit_id, initiated_by_admin=True
+    )
+    print(f"\nadmin canceled the grant: repaired={result.ok}")
+    print(f"Secret is now: {wiki.page_text('Secret')!r}")
+    print(f"ACL for Secret: {wiki.acl_users('Secret')}")
+    assert wiki.page_text("Secret") == "launch codes: 0000"
+    assert "mallory" not in wiki.acl_users("Secret")
+
+    # Mallory has a queued conflict: her edit could not be replayed.
+    conflicts = warp.conflicts.pending("mallory-browser")
+    print(f"\nmallory's queued conflicts: {len(conflicts)}")
+    for conflict in conflicts:
+        print(f"  on {conflict.url}: {conflict.reason}")
+    assert len(conflicts) == 1
+
+    # When mallory next contacts the site, the server tells her browser
+    # about the pending conflict (the paper's redirect-to-resolution flow).
+    response = mallory.open(f"{WIKI}/index.php?title=Main_Page").response
+    print(f"conflict header on next visit: X-Warp-Conflicts="
+          f"{response.headers.get('X-Warp-Conflicts')}")
+
+    # She resolves it the only way the prototype (like the paper's) offers:
+    # cancel her conflicted page visit.
+    warp.resolve_conflict_by_cancel(conflicts[0])
+    print(f"after resolution, pending conflicts: "
+          f"{len(warp.conflicts.pending('mallory-browser'))}")
+    print("\nmistake undone; mallory's exploitation reverted; conflict resolved.")
+
+
+if __name__ == "__main__":
+    main()

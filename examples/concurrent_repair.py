@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Repair concurrent with normal operation (paper §4.3, Table 6).
+
+WARP's repair generations let the site keep serving users while a repair
+rewrites history: normal execution continues in the *current* generation,
+repair builds the *next* one, and a brief suspend at the end switches them
+atomically.  Requests that arrive mid-repair and touch repaired state are
+re-applied to the next generation before the switch.
+
+This example launches a clickjacking repair across a 30-user history while
+a live user keeps reading and editing pages, then shows that (a) the live
+user was served throughout, (b) her mid-repair edit survived the
+generation switch, and (c) the repair still removed the attack.
+
+Run:  python examples/concurrent_repair.py
+"""
+
+from repro.apps.wiki.patches import patch_for
+from repro.workload.scenarios import WIKI, run_scenario
+
+
+def main() -> None:
+    outcome = run_scenario("clickjacking", n_users=30, n_victims=3)
+    deployment = outcome.deployment
+    warp = outcome.warp
+    wiki = outcome.wiki
+    print(
+        f"staged clickjacking scenario: {warp.graph.n_visits} page visits, "
+        f"{warp.graph.n_runs} runs recorded"
+    )
+    assert "clickjacked spam" in wiki.page_text("Projects")
+
+    # A live user keeps working while the repair runs: one page view or
+    # edit per repair work item, interleaved through the step hook.
+    live = deployment.browser(deployment.users[-1])
+    served = {"ok": 0, "fail": 0, "edited": False}
+
+    def live_traffic():
+        count = served["ok"] + served["fail"]
+        if count == 5 and not served["edited"]:
+            # Mid-repair edit to a page the repair is also touching.
+            deployment.append_to_page(
+                deployment.users[-1], "Main_Page", "\nedited during repair"
+            )
+            served["edited"] = True
+        visit = live.open(f"{WIKI}/index.php?title=Main_Page")
+        key = "ok" if visit.response.status == 200 else "fail"
+        served[key] += 1
+
+    controller = warp._controller()
+    controller.step_hook = live_traffic
+    spec = patch_for("clickjacking")
+    result = controller.retroactive_patch(spec.file, spec.build())
+
+    print(f"\nrepair finished: ok={result.ok}")
+    print(f"live requests served during repair: {served['ok']} "
+          f"(failed: {served['fail']})")
+    print(f"DB generation after switch: {warp.ttdb.current_gen}")
+
+    text = wiki.page_text("Main_Page")
+    print(f"\nMain_Page after repair: {text!r}")
+    assert served["ok"] > 0, "the site must stay available during repair"
+    assert served["fail"] == 0
+    assert "edited during repair" in text, "mid-repair edit must survive"
+
+    # Clickjacked input cannot be replayed (the page refuses to load in a
+    # frame under the patch), so the victims get conflicts — Table 3's
+    # three-conflict row.  They resolve by cancelling the framed visit,
+    # which removes the spam.
+    conflicts = warp.conflicts.pending()
+    print(f"victims with conflicts to resolve: {len(conflicts)}")
+    for conflict in list(conflicts):
+        warp.resolve_conflict_by_cancel(conflict)
+    assert "clickjacked spam" not in wiki.page_text("Projects")
+    print("\nsite stayed online, mid-repair edit survived, attack removed "
+          "after the victims resolved their conflicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Action history graph (paper §2.1, borrowed from Retro).
+
+Nodes represent parts of the system over time (database partitions, source
+files, HTTP exchanges, browser page visits); actions (application runs,
+SQL queries, browser events) carry input and output dependencies on those
+nodes.  During normal execution the repair managers append records here;
+during repair the controller consults the graph's time-ordered indexes to
+find what must be rolled back and re-executed.
+"""
+
+from repro.ahg.records import (
+    AppRunRecord,
+    EventRecord,
+    NondetRecord,
+    PatchRecord,
+    QueryRecord,
+    VisitRecord,
+)
+from repro.ahg.graph import ActionHistoryGraph
+
+__all__ = [
+    "ActionHistoryGraph",
+    "AppRunRecord",
+    "QueryRecord",
+    "NondetRecord",
+    "EventRecord",
+    "VisitRecord",
+    "PatchRecord",
+]

@@ -1,0 +1,124 @@
+"""Record types logged during normal execution.
+
+Everything repair needs to roll back and re-execute is captured in these
+dataclasses: they are the concrete encoding of the action history graph's
+actions and dependency edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.ttdb.partitions import ReadSet
+
+
+@dataclass
+class QueryRecord:
+    """One SQL statement executed by an application run.
+
+    Input dependencies: the partitions in ``read_set`` (at time ``ts``).
+    Output dependencies: ``written_row_ids`` / ``written_partitions``.
+    ``snapshot`` is the canonical result used for the §4 equivalence check
+    ("if a re-executed query produces results different from the original
+    execution, WARP re-executes the corresponding application run").
+    """
+
+    qid: int
+    run_id: int
+    seq: int
+    ts: int
+    sql: str
+    params: Tuple[object, ...]
+    kind: str  # 'select' | 'insert' | 'update' | 'delete'
+    table: str
+    read_set: ReadSet
+    written_row_ids: Tuple[Tuple[str, int], ...]
+    written_partitions: FrozenSet[Tuple[str, str, object]]
+    full_table_write: bool
+    snapshot: Tuple
+    read_row_ids: Tuple[int, ...] = ()
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind != "select"
+
+
+@dataclass
+class NondetRecord:
+    """A recorded non-deterministic function call (paper §3.1)."""
+
+    func: str  # 'time' | 'rand' | 'token' | ...
+    seq: int  # occurrence index of this func within the run
+    value: object
+
+
+@dataclass
+class AppRunRecord:
+    """One execution of application code for one HTTP request."""
+
+    run_id: int
+    ts_start: int
+    ts_end: int
+    script: str
+    #: file name -> code version that was loaded (input dependencies).
+    loaded_files: Dict[str, int]
+    request: HttpRequest
+    response: HttpResponse
+    queries: List[QueryRecord] = field(default_factory=list)
+    nondet: List[NondetRecord] = field(default_factory=list)
+    #: Browser correlation tuple from the X-Warp-* headers, if present.
+    client_id: Optional[str] = None
+    visit_id: Optional[int] = None
+    request_id: Optional[int] = None
+    #: Set during repair when the request was undone.
+    canceled: bool = False
+
+    def browser_key(self) -> Optional[Tuple[str, int]]:
+        if self.client_id is not None and self.visit_id is not None:
+            return (self.client_id, self.visit_id)
+        return None
+
+
+@dataclass
+class EventRecord:
+    """A DOM-level browser event (paper §5.2).
+
+    ``xpath`` addresses the target element; ``data`` carries event-type
+    specific payload (for text input: the field's base value and the value
+    the user left, enabling three-way merge on replay).
+    """
+
+    etype: str  # 'input' | 'click' | 'submit'
+    xpath: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class VisitRecord:
+    """The uploaded client-side log for one page visit (paper §5.1)."""
+
+    client_id: str
+    visit_id: int
+    ts: int
+    url: str
+    method: str = "GET"
+    post_params: Dict[str, str] = field(default_factory=dict)
+    parent_visit: Optional[int] = None
+    framed: bool = False
+    events: List[EventRecord] = field(default_factory=list)
+    #: Cookie-jar snapshots (origin -> {name: value}) around the visit.
+    cookies_before: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    cookies_after: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: request ids issued during this visit, in order.
+    request_ids: List[int] = field(default_factory=list)
+
+
+@dataclass
+class PatchRecord:
+    """A retroactive patch action synthesised at repair time (paper §3.2)."""
+
+    file: str
+    new_version: int
+    apply_ts: int

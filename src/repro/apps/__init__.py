@@ -1,0 +1,2 @@
+"""Applications ported to WARP: the wiki (MediaWiki analogue) plus the
+mini Drupal and Gallery2 used for the §8.4 comparison."""

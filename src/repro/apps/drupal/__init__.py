@@ -1,0 +1,10 @@
+"""A miniature Drupal: nodes, voting and comments (paper §8.4).
+
+Carries the two data-corruption bugs Akkuş and Goel evaluated on Drupal:
+losing voting information and losing comments.  Porting it to WARP needed
+no source changes — only schema annotations.
+"""
+
+from repro.apps.drupal.app import DrupalApp
+
+__all__ = ["DrupalApp"]

@@ -1,0 +1,195 @@
+"""Mini-Drupal application: node pages, voting, comments, access log.
+
+Two buggy handlers reproduce the §8.4 Drupal corruption bugs:
+
+* ``vote.php`` (buggy): casting a vote *deletes the node's earlier votes*
+  before inserting the new one — "lost voting information".
+* ``node_edit.php`` (buggy): saving a node *deletes its comments* —
+  "lost comments".
+
+The fixed variants (``make_vote(buggy=False)`` etc.) are the retroactive
+patches.  Node views read vote totals and comments and append to the
+``accesslog`` table, which is how the taint baseline's over-approximation
+spreads (and what its table-level whitelisting is for).
+"""
+
+from __future__ import annotations
+
+from repro.appserver.context import AppContext, htmlspecialchars
+from repro.db.storage import Column, TableSchema
+
+DRUPAL_TABLES = (
+    TableSchema(
+        name="nodes",
+        columns=(
+            Column("node_id", "int"),
+            Column("title"),
+            Column("body"),
+            Column("author"),
+        ),
+        row_id_column="node_id",
+        partition_columns=("title",),
+        unique_keys=(("title",),),
+    ),
+    TableSchema(
+        name="votes",
+        columns=(
+            Column("vote_id", "int"),
+            Column("node_title"),
+            Column("voter"),
+            Column("value", "int"),
+        ),
+        row_id_column="vote_id",
+        partition_columns=("node_title", "voter"),
+    ),
+    TableSchema(
+        name="comments",
+        columns=(
+            Column("comment_id", "int"),
+            Column("node_title"),
+            Column("author"),
+            Column("body"),
+        ),
+        row_id_column="comment_id",
+        partition_columns=("node_title",),
+    ),
+    TableSchema(
+        name="accesslog",
+        columns=(
+            Column("log_id", "int"),
+            Column("path"),
+            Column("who"),
+        ),
+        row_id_column="log_id",
+        partition_columns=("who",),
+    ),
+)
+
+
+def make_node_view():
+    def handle(ctx: AppContext) -> None:
+        title = ctx.param("title")
+        who = ctx.param("user", "anonymous")
+        node = ctx.query_one("SELECT body, author FROM nodes WHERE title = ?", (title,))
+        ctx.echo("<html><body>")
+        if node is None:
+            ctx.status = 404
+            ctx.echo("<p>no such node</p></body></html>")
+            return
+        total = ctx.query_one(
+            "SELECT SUM(value) FROM votes WHERE node_title = ?", (title,)
+        )
+        comments = ctx.query(
+            "SELECT author, body FROM comments WHERE node_title = ?", (title,)
+        )
+        ctx.echo(f"<div id='body'>{htmlspecialchars(node['body'])}</div>")
+        score = total["sum"] if total and total["sum"] is not None else 0
+        ctx.echo(f"<div id='score'>{score}</div>")
+        ctx.echo("<ul id='comments'>")
+        for comment in comments:
+            ctx.echo(f"<li>{htmlspecialchars(comment['body'])}</li>")
+        ctx.echo("</ul>")
+        ctx.query(
+            "INSERT INTO accesslog (path, who) VALUES (?, ?)",
+            ("/node.php?title=" + title, who),
+        )
+        ctx.echo("</body></html>")
+
+    return {"handle": handle}
+
+
+def make_vote(buggy: bool):
+    def handle(ctx: AppContext) -> None:
+        title = ctx.param("title")
+        if ctx.param("action") == "recount":
+            if buggy:
+                # The bug: "recounting" zeroes every vote on the node —
+                # the voting information is lost.
+                ctx.query(
+                    "UPDATE votes SET value = 0 WHERE node_title = ?", (title,)
+                )
+            total = ctx.query_one(
+                "SELECT SUM(value) FROM votes WHERE node_title = ?", (title,)
+            )
+            score = total["sum"] if total and total["sum"] is not None else 0
+            ctx.echo(f"<html><body><p id='total'>{score}</p></body></html>")
+            return
+        voter = ctx.param("voter", "anonymous")
+        value = int(ctx.param("value", "1"))
+        ctx.query(
+            "INSERT INTO votes (node_title, voter, value) VALUES (?, ?, ?)",
+            (title, voter, value),
+        )
+        ctx.echo("<html><body><p id='ok'>vote recorded</p></body></html>")
+
+    return {"handle": handle}
+
+
+def make_node_edit(buggy: bool):
+    def handle(ctx: AppContext) -> None:
+        title = ctx.param("title")
+        body = ctx.param("body")
+        ctx.query("UPDATE nodes SET body = ? WHERE title = ?", (body, title))
+        if buggy:
+            # The bug: saving a node blanks its comment thread.
+            ctx.query(
+                "UPDATE comments SET body = '' WHERE node_title = ?", (title,)
+            )
+        ctx.echo("<html><body><p id='ok'>node saved</p></body></html>")
+
+    return {"handle": handle}
+
+
+def make_comment():
+    def handle(ctx: AppContext) -> None:
+        ctx.query(
+            "INSERT INTO comments (node_title, author, body) VALUES (?, ?, ?)",
+            (ctx.param("title"), ctx.param("author", "anonymous"), ctx.param("body")),
+        )
+        ctx.echo("<html><body><p id='ok'>comment added</p></body></html>")
+
+    return {"handle": handle}
+
+
+class DrupalApp:
+    """Installs mini-Drupal into a WARP deployment."""
+
+    ROUTES = {
+        "/node.php": "node.php",
+        "/vote.php": "vote.php",
+        "/node_edit.php": "node_edit.php",
+        "/comment.php": "comment.php",
+    }
+
+    def __init__(self, ttdb, scripts, server) -> None:
+        self.ttdb = ttdb
+        self.scripts = scripts
+        self.server = server
+
+    def install(self, buggy_vote: bool = True, buggy_edit: bool = True) -> None:
+        for schema in DRUPAL_TABLES:
+            self.ttdb.create_table(schema)
+        self.scripts.register("node.php", make_node_view())
+        self.scripts.register("vote.php", make_vote(buggy=buggy_vote))
+        self.scripts.register("node_edit.php", make_node_edit(buggy=buggy_edit))
+        self.scripts.register("comment.php", make_comment())
+        for path, script in self.ROUTES.items():
+            self.server.route(path, script)
+
+    def seed_node(self, title: str, body: str, author: str = "admin") -> None:
+        self.ttdb.execute(
+            "INSERT INTO nodes (title, body, author) VALUES (?, ?, ?)",
+            (title, body, author),
+        )
+
+    def votes_for(self, title: str):
+        result = self.ttdb.execute(
+            "SELECT voter, value FROM votes WHERE node_title = ?", (title,)
+        )
+        return result.rows or []
+
+    def comments_for(self, title: str):
+        result = self.ttdb.execute(
+            "SELECT author, body FROM comments WHERE node_title = ?", (title,)
+        )
+        return result.rows or []

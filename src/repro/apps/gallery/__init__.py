@@ -1,0 +1,9 @@
+"""A miniature Gallery2: photo items, albums, permissions (paper §8.4).
+
+Carries the two Gallery2 corruption bugs from Akkuş and Goel's
+evaluation: removing permissions and corrupting image resizes.
+"""
+
+from repro.apps.gallery.app import GalleryApp
+
+__all__ = ["GalleryApp"]

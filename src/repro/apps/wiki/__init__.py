@@ -1,0 +1,12 @@
+"""A MediaWiki-like wiki application (paper §8.1).
+
+Pages, users, sessions, ACLs, an object cache, a web installer and a
+maintenance page — enough surface to host all six vulnerabilities of
+Table 2 with the same *classes* of bug as the CVEs the paper used, and the
+corresponding security patches.
+"""
+
+from repro.apps.wiki.app import WikiApp
+from repro.apps.wiki.patches import PATCHES, patch_for
+
+__all__ = ["WikiApp", "PATCHES", "patch_for"]

@@ -1,0 +1,62 @@
+"""acl.php: administrator page for granting and revoking page access.
+
+This is the page the ACL-error scenario (Table 2, last row) exercises: the
+administrator accidentally grants a user access, the user exploits it, and
+the administrator later uses WARP to cancel the granting page visit.
+"""
+
+from __future__ import annotations
+
+from repro.appserver.context import AppContext, htmlspecialchars
+
+
+def make_acl():
+    def handle(ctx: AppContext) -> None:
+        common = ctx.load("common.php")
+        user = common["current_user"](ctx)
+        if not common["is_admin"](ctx, user):
+            ctx.forbidden("administrators only")
+            return
+        if ctx.request.method == "POST":
+            _change(ctx, common)
+        else:
+            _form(ctx, common)
+
+    def _form(ctx, common) -> None:
+        common["page_header"](ctx, "Access control")
+        ctx.echo(
+            "<form id='aclform' action='/acl.php' method='post'>"
+            "<input type='text' name='title' value=''>"
+            "<input type='text' name='user' value=''>"
+            "<input type='text' name='action' value='grant'>"
+            "<input type='submit' name='apply' value='Apply'>"
+            "</form>"
+        )
+        common["page_footer"](ctx)
+
+    def _change(ctx, common) -> None:
+        common["page_header"](ctx, "Access control updated")
+        title = ctx.param("title")
+        target = ctx.param("user")
+        action = ctx.param("action", "grant")
+        if action == "grant":
+            ctx.query(
+                "INSERT INTO acl (title, user_name, level) VALUES (?, ?, 'edit')",
+                (title, target),
+            )
+            ctx.echo(
+                f"<p id='saved'>Granted edit on {htmlspecialchars(title)} "
+                f"to {htmlspecialchars(target)}.</p>"
+            )
+        else:
+            ctx.query(
+                "DELETE FROM acl WHERE title = ? AND user_name = ?",
+                (title, target),
+            )
+            ctx.echo(
+                f"<p id='saved'>Revoked access on {htmlspecialchars(title)} "
+                f"for {htmlspecialchars(target)}.</p>"
+            )
+        common["page_footer"](ctx)
+
+    return {"handle": handle}

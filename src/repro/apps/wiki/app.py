@@ -1,0 +1,117 @@
+"""Wiki application assembly: scripts, routes, seed data.
+
+Porting the wiki to WARP required *no changes to its source code* — only
+the schema annotations in :mod:`repro.apps.wiki.schema` (paper §8.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.wiki import acl as acl_mod
+from repro.apps.wiki import auth, pages, special
+from repro.apps.wiki.common import make_common
+from repro.apps.wiki.schema import install_tables
+from repro.appserver.scripts import ScriptStore
+from repro.http.server import HttpServer
+from repro.ttdb.timetravel import TimeTravelDB
+
+ROUTES = {
+    "/index.php": "index.php",
+    "/edit.php": "edit.php",
+    "/login.php": "login.php",
+    "/logout.php": "logout.php",
+    "/acl.php": "acl.php",
+    "/special_block.php": "special_block.php",
+    "/config/index.php": "config/index.php",
+    "/special_maintenance.php": "special_maintenance.php",
+}
+
+
+class WikiApp:
+    """Installs the wiki into a WARP deployment."""
+
+    def __init__(self, ttdb: TimeTravelDB, scripts: ScriptStore, server: HttpServer):
+        self.ttdb = ttdb
+        self.scripts = scripts
+        self.server = server
+
+    def install(self) -> None:
+        """Create tables, register (vulnerable) scripts, and wire routes."""
+        install_tables(self.ttdb)
+        self.scripts.register("common.php", make_common(send_frame_options=False))
+        self.scripts.register("index.php", pages.make_index())
+        self.scripts.register("edit.php", pages.make_edit())
+        self.scripts.register("login.php", auth.make_login(csrf_protected=False))
+        self.scripts.register("logout.php", auth.make_logout())
+        self.scripts.register("acl.php", acl_mod.make_acl())
+        self.scripts.register(
+            "special_block.php", special.make_special_block(escape_reason=False)
+        )
+        self.scripts.register(
+            "config/index.php", special.make_config_index(escape_options=False)
+        )
+        self.scripts.register(
+            "special_maintenance.php", special.make_maintenance(escape_lang=False)
+        )
+        for path, script in ROUTES.items():
+            self.server.route(path, script)
+        self.ttdb.execute(
+            "INSERT INTO i18n (lang, value) VALUES ('en', 'English')"
+        )
+
+    # -- seed helpers (run before the logged workload starts) -----------------
+
+    def seed_user(self, name: str, password: str, admin: bool = False) -> None:
+        self.ttdb.execute(
+            "INSERT INTO users (name, password, is_admin) VALUES (?, ?, ?)",
+            (name, password, admin),
+        )
+
+    def seed_page(
+        self,
+        title: str,
+        text: str,
+        owner: str,
+        public: bool = True,
+        editors: Optional[list] = None,
+    ) -> None:
+        self.ttdb.execute(
+            "INSERT INTO pagecontent (title, old_text, editor, public) "
+            "VALUES (?, ?, ?, ?)",
+            (title, text, owner, public),
+        )
+        for user in [owner] + list(editors or []):
+            self.ttdb.execute(
+                "INSERT INTO acl (title, user_name, level) VALUES (?, ?, 'edit')",
+                (title, user),
+            )
+
+    # -- direct state inspection (tests and benchmarks) --------------------------
+
+    def page_text(self, title: str) -> Optional[str]:
+        result = self.ttdb.execute(
+            "SELECT old_text FROM pagecontent WHERE title = ?", (title,)
+        )
+        row = result.one()
+        return row["old_text"] if row else None
+
+    def page_editor(self, title: str) -> Optional[str]:
+        result = self.ttdb.execute(
+            "SELECT editor FROM pagecontent WHERE title = ?", (title,)
+        )
+        row = result.one()
+        return row["editor"] if row else None
+
+    def acl_users(self, title: str) -> list:
+        result = self.ttdb.execute(
+            "SELECT user_name FROM acl WHERE title = ?", (title,)
+        )
+        return sorted(row["user_name"] for row in result.rows or [])
+
+    def session_user(self, token: str) -> Optional[str]:
+        result = self.ttdb.execute(
+            "SELECT user_name FROM sessions WHERE sess_token = ?", (token,)
+        )
+        row = result.one()
+        return row["user_name"] if row else None

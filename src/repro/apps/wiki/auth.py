@@ -1,0 +1,99 @@
+"""login.php and logout.php.
+
+The vulnerable login accepts any POST (no CSRF token), which is
+CVE-2010-1150's class of bug: an attacker's page can silently log the
+victim out and back in under the attacker's account.  The patched version
+embeds a random challenge token in a hidden form field on every login form
+render and refuses POSTs without a valid token (MediaWiki r64677).
+"""
+
+from __future__ import annotations
+
+from repro.appserver.context import AppContext, htmlspecialchars
+
+
+def make_login(csrf_protected: bool):
+    def handle(ctx: AppContext) -> None:
+        common = ctx.load("common.php")
+        if ctx.request.method == "GET":
+            _render_form(ctx, common)
+        else:
+            _do_login(ctx, common)
+
+    def _render_form(ctx, common) -> None:
+        common["page_header"](ctx, "Log in")
+        token_field = ""
+        if csrf_protected:
+            token = ctx.token()
+            ctx.query("INSERT INTO login_tokens (token) VALUES (?)", (token,))
+            token_field = (
+                f"<input type='hidden' name='wpLoginToken' value='{token}'>"
+            )
+        ctx.echo(
+            "<form id='loginform' action='/login.php' method='post'>"
+            "<input type='text' name='wpName' value=''>"
+            "<input type='password' name='wpPassword' value=''>"
+            + token_field
+            + "<input type='submit' name='wpLogin' value='Log in'>"
+            "</form>"
+        )
+        common["page_footer"](ctx)
+
+    def _do_login(ctx, common) -> None:
+        common["page_header"](ctx, "Log in")
+        if csrf_protected:
+            token = ctx.param("wpLoginToken")
+            known = token and ctx.query_one(
+                "SELECT token FROM login_tokens WHERE token = ?", (token,)
+            )
+            if not known:
+                ctx.status = 403
+                ctx.echo(
+                    "<p id='error'>Possible session hijack attempt: "
+                    "missing or invalid login token.</p>"
+                )
+                common["page_footer"](ctx)
+                return
+            ctx.query("DELETE FROM login_tokens WHERE token = ?", (token,))
+
+        name = ctx.param("wpName")
+        password = ctx.param("wpPassword")
+        row = ctx.query_one("SELECT password FROM users WHERE name = ?", (name,))
+        if row is None or row["password"] != password:
+            ctx.status = 403
+            ctx.echo("<p id='error'>Incorrect user name or password.</p>")
+            common["page_footer"](ctx)
+            return
+
+        # A login replaces any existing session (this is the logout+login
+        # step the CSRF attack exploits in one request).
+        old = ctx.cookie("sess")
+        if old:
+            ctx.query("DELETE FROM sessions WHERE sess_token = ?", (old,))
+        token = ctx.token()
+        ctx.query(
+            "INSERT INTO sessions (sess_token, user_name) VALUES (?, ?)",
+            (token, name),
+        )
+        ctx.set_cookie("sess", token)
+        ctx.echo(
+            f"<p id='welcome'>Welcome, {htmlspecialchars(name)}.</p>"
+            "<a id='homelink' href='/index.php'>continue</a>"
+        )
+        common["page_footer"](ctx)
+
+    return {"handle": handle}
+
+
+def make_logout():
+    def handle(ctx: AppContext) -> None:
+        common = ctx.load("common.php")
+        common["page_header"](ctx, "Log out")
+        token = ctx.cookie("sess")
+        if token:
+            ctx.query("DELETE FROM sessions WHERE sess_token = ?", (token,))
+            ctx.delete_cookie("sess")
+        ctx.echo("<p id='bye'>You are now logged out.</p>")
+        common["page_footer"](ctx)
+
+    return {"handle": handle}

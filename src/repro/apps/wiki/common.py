@@ -1,0 +1,92 @@
+"""common.php: shared page chrome, session lookup, ACL checks.
+
+Every entry script loads this file, which is exactly why retroactively
+patching it (the clickjacking fix adds ``X-Frame-Options: DENY`` here)
+forces re-execution of every recorded run (paper Table 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.appserver.context import AppContext, htmlspecialchars
+
+
+def make_common(send_frame_options: bool):
+    """Build the exports of common.php.
+
+    ``send_frame_options=False`` is the vulnerable (clickjackable) version;
+    the CVE-2011-0003 patch rebuilds with ``True``.
+    """
+
+    def page_header(ctx: AppContext, title: str) -> None:
+        if send_frame_options:
+            ctx.header("X-Frame-Options", "DENY")
+        user = current_user(ctx)
+        if user is None:
+            who = "<span id='username'></span> (not logged in)"
+        else:
+            who = f"<span id='username'>{htmlspecialchars(user)}</span>"
+        ctx.echo(
+            "<html><head><title>"
+            + htmlspecialchars(title)
+            + "</title></head><body>"
+            + f"<div id='header'><h1>{htmlspecialchars(title)}</h1>"
+            + f"<div id='login-state'>Logged in as {who}</div></div>"
+            + "<div id='content'>"
+        )
+
+    def page_footer(ctx: AppContext) -> None:
+        ctx.echo("</div></body></html>")
+
+    def current_user(ctx: AppContext) -> Optional[str]:
+        token = ctx.cookie("sess")
+        if not token:
+            return None
+        row = ctx.query_one(
+            "SELECT user_name FROM sessions WHERE sess_token = ?", (token,)
+        )
+        return row["user_name"] if row else None
+
+    def is_admin(ctx: AppContext, user: Optional[str]) -> bool:
+        if user is None:
+            return False
+        row = ctx.query_one("SELECT is_admin FROM users WHERE name = ?", (user,))
+        return bool(row and row["is_admin"])
+
+    def can_edit(ctx: AppContext, title: str, user: Optional[str]) -> bool:
+        """Edit is allowed for the page's ACL principals or everyone on
+        public pages."""
+        page = ctx.query_one(
+            "SELECT public FROM pagecontent WHERE title = ?", (title,)
+        )
+        if user is None:
+            return False  # anonymous users may not edit
+        if page is not None and page["public"]:
+            return True  # any logged-in user may edit a public page
+        if page is None:
+            return True  # any logged-in user may create a new page
+        row = ctx.query_one(
+            "SELECT level FROM acl WHERE title = ? AND "
+            "(user_name = ? OR user_name = '*')",
+            (title, user),
+        )
+        return row is not None
+
+    def can_read(ctx: AppContext, title: str, user: Optional[str]) -> bool:
+        page = ctx.query_one(
+            "SELECT public FROM pagecontent WHERE title = ?", (title,)
+        )
+        if page is None or page["public"]:
+            return True
+        return can_edit(ctx, title, user)
+
+    return {
+        "page_header": page_header,
+        "page_footer": page_footer,
+        "current_user": current_user,
+        "is_admin": is_admin,
+        "can_edit": can_edit,
+        "can_read": can_read,
+        "sends_frame_options": lambda: send_frame_options,
+    }

@@ -1,0 +1,129 @@
+"""index.php (page view) and edit.php (page edit) for the wiki.
+
+Page content is rendered *escaped* (a well-behaved wiki); the XSS vectors
+of Table 2 live in the special pages and installer.  Views go through the
+``objectcache`` table like MediaWiki's parser cache, which is the source
+of the benign nondeterminism the paper observed in its experiments (§8.5).
+"""
+
+from __future__ import annotations
+
+from repro.appserver.context import AppContext, htmlspecialchars
+
+
+def make_index():
+    def handle(ctx: AppContext) -> None:
+        common = ctx.load("common.php")
+        title = ctx.param("title", "Main_Page")
+        user = common["current_user"](ctx)
+        common["page_header"](ctx, title)
+        if not common["can_read"](ctx, title, user):
+            ctx.echo("<p id='error'>You are not allowed to read this page.</p>")
+            common["page_footer"](ctx)
+            return
+
+        cache_key = "page:" + title
+        cached = ctx.query_one(
+            "SELECT value FROM objectcache WHERE cache_key = ?", (cache_key,)
+        )
+        if cached is not None:
+            text = cached["value"]
+        else:
+            row = ctx.query_one(
+                "SELECT old_text FROM pagecontent WHERE title = ?", (title,)
+            )
+            if row is None:
+                ctx.echo("<p id='missing'>This page does not exist yet.</p>")
+                ctx.echo(
+                    f"<a id='editlink' href='/edit.php?title={title}'>create</a>"
+                )
+                common["page_footer"](ctx)
+                return
+            text = row["old_text"]
+            # Populate the parser cache; a concurrent request may have won
+            # the race, in which case the unique key makes this a no-op.
+            ctx.query_result(
+                "INSERT INTO objectcache (cache_key, value) VALUES (?, ?)",
+                (cache_key, text),
+            )
+        ctx.echo(f"<div id='pagebody'>{htmlspecialchars(text)}</div>")
+        ctx.echo(f"<a id='editlink' href='/edit.php?title={title}'>edit</a>")
+        # MediaWiki-style site statistics: a whole-table read whose result
+        # is stable under edits.  During repair these queries re-execute
+        # whenever any page partition changed (their read set is ALL), but
+        # compare equal — the paper's "victims at start" DB-query effect.
+        stats = ctx.query_one("SELECT COUNT(*) FROM pagecontent")
+        ctx.echo(f"<div id='sitestats'>{stats['count']} pages</div>")
+        common["page_footer"](ctx)
+
+    return {"handle": handle}
+
+
+def make_edit():
+    def handle(ctx: AppContext) -> None:
+        common = ctx.load("common.php")
+        title = ctx.param("title")
+        user = common["current_user"](ctx)
+        if ctx.request.method == "GET":
+            _render_form(ctx, common, title, user)
+        else:
+            _save(ctx, common, title, user)
+
+    def _render_form(ctx, common, title, user) -> None:
+        common["page_header"](ctx, f"Editing {title}")
+        if not common["can_edit"](ctx, title, user):
+            ctx.echo("<p id='error'>You are not allowed to edit this page.</p>")
+            common["page_footer"](ctx)
+            return
+        row = ctx.query_one(
+            "SELECT old_text FROM pagecontent WHERE title = ?", (title,)
+        )
+        text = row["old_text"] if row else ""
+        ctx.echo(
+            "<form id='editform' action='/edit.php' method='post'>"
+            f"<input type='hidden' name='title' value='{htmlspecialchars(title)}'>"
+            f"<textarea name='wpTextbox'>{htmlspecialchars(text)}</textarea>"
+            "<input type='submit' name='save' value='Save page'>"
+            "</form>"
+        )
+        common["page_footer"](ctx)
+
+    def _save(ctx, common, title, user) -> None:
+        common["page_header"](ctx, f"Saving {title}")
+        if not common["can_edit"](ctx, title, user):
+            ctx.status = 403
+            ctx.echo("<p id='error'>You are not allowed to edit this page.</p>")
+            common["page_footer"](ctx)
+            return
+        row = ctx.query_one(
+            "SELECT old_text FROM pagecontent WHERE title = ?", (title,)
+        )
+        if "append" in ctx.request.params:
+            new_text = (row["old_text"] if row else "") + ctx.param("append")
+        else:
+            new_text = ctx.param("wpTextbox")
+        editor = user if user is not None else "anonymous"
+        if row is None:
+            ctx.query(
+                "INSERT INTO pagecontent (title, old_text, editor, public) "
+                "VALUES (?, ?, ?, TRUE)",
+                (title, new_text, editor),
+            )
+            ctx.query(
+                "INSERT INTO acl (title, user_name, level) VALUES (?, ?, 'edit')",
+                (title, editor),
+            )
+        else:
+            ctx.query(
+                "UPDATE pagecontent SET old_text = ?, editor = ? WHERE title = ?",
+                (new_text, editor, title),
+            )
+        # Invalidate the parser cache for this page.
+        ctx.query(
+            "DELETE FROM objectcache WHERE cache_key = ?", ("page:" + title,)
+        )
+        ctx.echo("<p id='saved'>Your changes have been saved.</p>")
+        ctx.echo(f"<a id='backlink' href='/index.php?title={title}'>continue</a>")
+        common["page_footer"](ctx)
+
+    return {"handle": handle}

@@ -1,0 +1,108 @@
+"""Wiki database schema with WARP annotations (paper §8.1).
+
+The paper reports 89 lines of annotation for MediaWiki's 42 tables: per
+table, a row-ID column (assigned once, never overwritten) and partition
+columns (the columns most WHERE clauses constrain).  Our wiki is smaller
+but annotated the same way.
+"""
+
+from __future__ import annotations
+
+from repro.db.storage import Column, TableSchema
+
+WIKI_TABLES = (
+    TableSchema(
+        name="users",
+        columns=(
+            Column("user_id", "int"),
+            Column("name"),
+            Column("password"),
+            Column("is_admin", "bool"),
+        ),
+        row_id_column="user_id",
+        partition_columns=("name",),
+        unique_keys=(("name",),),
+    ),
+    TableSchema(
+        name="sessions",
+        columns=(
+            Column("session_id", "int"),
+            Column("sess_token"),
+            Column("user_name"),
+        ),
+        row_id_column="session_id",
+        partition_columns=("sess_token", "user_name"),
+        unique_keys=(("sess_token",),),
+    ),
+    TableSchema(
+        # One row per page; WARP's continuous versioning supplies history.
+        name="pagecontent",
+        columns=(
+            Column("page_id", "int"),
+            Column("title"),
+            Column("old_text"),
+            Column("editor"),
+            Column("public", "bool"),
+        ),
+        row_id_column="page_id",
+        partition_columns=("title", "editor"),
+        unique_keys=(("title",),),
+    ),
+    TableSchema(
+        name="acl",
+        columns=(
+            Column("acl_id", "int"),
+            Column("title"),
+            Column("user_name"),
+            Column("level"),
+        ),
+        row_id_column="acl_id",
+        partition_columns=("title", "user_name"),
+    ),
+    TableSchema(
+        name="blocks",
+        columns=(
+            Column("block_id", "int"),
+            Column("ip"),
+            Column("reason"),
+            Column("by_user"),
+        ),
+        row_id_column="block_id",
+        partition_columns=("ip",),
+    ),
+    TableSchema(
+        name="objectcache",
+        columns=(
+            Column("cache_id", "int"),
+            Column("cache_key"),
+            Column("value"),
+        ),
+        row_id_column="cache_id",
+        partition_columns=("cache_key",),
+        unique_keys=(("cache_key",),),
+    ),
+    TableSchema(
+        name="i18n",
+        columns=(
+            Column("lang_id", "int"),
+            Column("lang"),
+            Column("value"),
+        ),
+        row_id_column="lang_id",
+        partition_columns=("lang",),
+    ),
+    TableSchema(
+        name="login_tokens",
+        columns=(
+            Column("token_id", "int"),
+            Column("token"),
+        ),
+        row_id_column="token_id",
+        partition_columns=("token",),
+    ),
+)
+
+
+def install_tables(ttdb) -> None:
+    for schema in WIKI_TABLES:
+        ttdb.create_table(schema)

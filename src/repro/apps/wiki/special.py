@@ -1,0 +1,101 @@
+"""Special pages carrying three of Table 2's vulnerabilities.
+
+* ``special_block.php`` — stored XSS (CVE-2009-4589 class): the block
+  *reason* is rendered unescaped next to the contribution link.
+* ``config/index.php``  — reflected XSS (CVE-2009-0737 class): the web
+  installer echoes user options (``wgDB*``) without HTML-escaping.
+* ``special_maintenance.php`` — SQL injection (CVE-2004-2186 class): the
+  ``thelang`` identifier is concatenated into a query string; the patch
+  escapes it with ``wfStrencode``.
+"""
+
+from __future__ import annotations
+
+from repro.appserver.context import AppContext, htmlspecialchars
+
+
+def make_special_block(escape_reason: bool):
+    def handle(ctx: AppContext) -> None:
+        common = ctx.load("common.php")
+        if ctx.request.method == "POST":
+            _add_block(ctx, common)
+        else:
+            _show_blocks(ctx, common)
+
+    def _add_block(ctx, common) -> None:
+        common["page_header"](ctx, "Block list updated")
+        user = common["current_user"](ctx)
+        ctx.query(
+            "INSERT INTO blocks (ip, reason, by_user) VALUES (?, ?, ?)",
+            (ctx.param("ip"), ctx.param("reason"), user or "anonymous"),
+        )
+        ctx.echo("<p id='saved'>Block recorded.</p>")
+        common["page_footer"](ctx)
+
+    def _show_blocks(ctx, common) -> None:
+        ip = ctx.param("ip", "0.0.0.0")
+        common["page_header"](ctx, "Special:Block")
+        rows = ctx.query("SELECT reason, by_user FROM blocks WHERE ip = ?", (ip,))
+        ctx.echo("<ul id='blocklist'>")
+        for row in rows:
+            reason = row["reason"]
+            if escape_reason:
+                reason = htmlspecialchars(reason)
+            # The contribution link whose name is not HTML-escaped.
+            ctx.echo(
+                f"<li><a href='/index.php?title=Contributions'>{reason}</a>"
+                f" (by {htmlspecialchars(row['by_user'])})</li>"
+            )
+        ctx.echo("</ul>")
+        ctx.echo(
+            "<form id='blockform' action='/special_block.php' method='post'>"
+            f"<input type='hidden' name='ip' value='{htmlspecialchars(ip)}'>"
+            "<input type='text' name='reason' value=''>"
+            "<input type='submit' name='report' value='Report'>"
+            "</form>"
+        )
+        common["page_footer"](ctx)
+
+    return {"handle": handle}
+
+
+def make_config_index(escape_options: bool):
+    def handle(ctx: AppContext) -> None:
+        common = ctx.load("common.php")
+        common["page_header"](ctx, "MediaWiki installation")
+        ctx.echo("<div id='installer'>")
+        for option in ("wgDBname", "wgDBuser", "wgDBserver"):
+            value = ctx.param(option)
+            if value:
+                shown = htmlspecialchars(value) if escape_options else value
+                ctx.echo(f"<p>Option {option}: {shown}</p>")
+        ctx.echo("</div>")
+        common["page_footer"](ctx)
+
+    return {"handle": handle}
+
+
+def wf_strencode(text: str) -> str:
+    """MediaWiki's wfStrencode: escape for inclusion in a SQL string."""
+    return text.replace("'", "''")
+
+
+def make_maintenance(escape_lang: bool):
+    def handle(ctx: AppContext) -> None:
+        common = ctx.load("common.php")
+        common["page_header"](ctx, "Special:Maintenance")
+        thelang = ctx.param("thelang", "en")
+        if escape_lang:
+            thelang = wf_strencode(thelang)
+        # Vulnerable: the identifier is concatenated straight into the
+        # query text, so a crafted value can piggyback extra statements.
+        results = ctx.query_raw(
+            "SELECT value FROM i18n WHERE lang = '" + thelang + "'"
+        )
+        ctx.echo("<ul id='langlist'>")
+        for row in results[0] if results else []:
+            ctx.echo(f"<li>{htmlspecialchars(row['value'])}</li>")
+        ctx.echo("</ul>")
+        common["page_footer"](ctx)
+
+    return {"handle": handle}

@@ -1,0 +1,21 @@
+"""Application runtime (the paper's PHP runtime + Apache PHP module).
+
+Applications are collections of *script files*: versioned export tables of
+Python callables.  The runtime executes an entry script per HTTP request,
+interposing on every database query, on loads of other script files, and
+on non-deterministic functions — exactly the three dependency classes of
+paper §3.1 — and produces an :class:`repro.ahg.records.AppRunRecord`.
+"""
+
+from repro.appserver.context import AppContext
+from repro.appserver.nondet import NondetReplayer
+from repro.appserver.runtime import AppRuntime, NormalQueryRunner
+from repro.appserver.scripts import ScriptStore
+
+__all__ = [
+    "ScriptStore",
+    "AppContext",
+    "AppRuntime",
+    "NormalQueryRunner",
+    "NondetReplayer",
+]

@@ -1,0 +1,124 @@
+"""The execution context handed to application script code.
+
+``AppContext`` is the application's window onto the world: the HTTP
+request, the database, other script files, non-determinism, and the
+response under construction.  Every interaction routes through the runtime
+so dependencies are recorded (normal execution) or redirected to the
+repair controller (re-execution).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Callable, Dict, List, Optional
+
+from repro.http.message import HttpRequest, HttpResponse
+
+
+def htmlspecialchars(text: object) -> str:
+    """PHP's htmlspecialchars(): the sanitizer the security patches add."""
+    return _html.escape(str(text), quote=True)
+
+
+class AppContext:
+    """Passed to every script handler as its sole argument."""
+
+    def __init__(
+        self,
+        request: HttpRequest,
+        query_fn: Callable,
+        script_fn: Callable,
+        load_fn: Callable,
+        nondet_fn: Callable,
+    ) -> None:
+        self.request = request
+        self._query_fn = query_fn
+        self._script_fn = script_fn
+        self._load_fn = load_fn
+        self._nondet_fn = nondet_fn
+        self._body_parts: List[str] = []
+        self.status = 200
+        self.headers: Dict[str, str] = {}
+        self.set_cookies: Dict[str, Optional[str]] = {}
+
+    # -- request convenience -----------------------------------------------------
+
+    def param(self, name: str, default: str = "") -> str:
+        return self.request.params.get(name, default)
+
+    def cookie(self, name: str) -> Optional[str]:
+        return self.request.cookies.get(name)
+
+    # -- database -------------------------------------------------------------------
+
+    def query(self, sql: str, params: tuple = ()) -> List[dict]:
+        """Run a parameterised statement; returns result rows (reads) or
+        the empty list (writes)."""
+        result = self._query_fn(sql, tuple(params))
+        return result.rows if result.rows is not None else []
+
+    def query_result(self, sql: str, params: tuple = ()):
+        """Like :meth:`query` but returns the full result (ok/rowcount)."""
+        return self._query_fn(sql, tuple(params))
+
+    def query_one(self, sql: str, params: tuple = ()) -> Optional[dict]:
+        rows = self.query(sql, params)
+        return rows[0] if rows else None
+
+    def query_raw(self, sql: str) -> List[List[dict]]:
+        """Execute a string-concatenated, possibly multi-statement batch.
+
+        This is the SQL-injection-prone interface: *vulnerable* application
+        code routes user input through here.
+        """
+        results = self._script_fn(sql)
+        return [r.rows if r.rows is not None else [] for r in results]
+
+    # -- code loading -------------------------------------------------------------------
+
+    def load(self, script_name: str) -> Dict[str, Callable]:
+        """PHP ``require``: records an input dependency on the file and
+        returns its exports (paper §3.1)."""
+        return self._load_fn(script_name)
+
+    # -- non-determinism --------------------------------------------------------------------
+
+    def time(self) -> float:
+        return self._nondet_fn("time")
+
+    def rand(self) -> int:
+        return self._nondet_fn("rand")
+
+    def token(self) -> str:
+        """Generate a session/CSRF token (PHP ``session_start`` analogue)."""
+        return self._nondet_fn("token")
+
+    # -- response building -------------------------------------------------------------------
+
+    def echo(self, text: str) -> None:
+        self._body_parts.append(text)
+
+    def header(self, name: str, value: str) -> None:
+        self.headers[name] = value
+
+    def set_cookie(self, name: str, value: str) -> None:
+        self.set_cookies[name] = value
+
+    def delete_cookie(self, name: str) -> None:
+        self.set_cookies[name] = None
+
+    def not_found(self, message: str = "not found") -> None:
+        self.status = 404
+        self.echo(f"<html><body><p>{htmlspecialchars(message)}</p></body></html>")
+
+    def forbidden(self, message: str = "permission denied") -> None:
+        self.status = 403
+        self.echo(f"<html><body><p id='error'>{htmlspecialchars(message)}</p></body></html>")
+
+    def build_response(self) -> HttpResponse:
+        return HttpResponse(
+            status=self.status,
+            body="".join(self._body_parts),
+            headers=dict(self.headers),
+            set_cookies=dict(self.set_cookies),
+        )

@@ -1,0 +1,57 @@
+"""Non-determinism recording and replay (paper §3.1, §3.3).
+
+During normal execution the runtime records the return value of every
+non-deterministic call (current time, randomness, session-token
+generation) together with its occurrence index.  During re-execution,
+calls are matched *in order, per function* to their recorded counterparts;
+unmatched calls fall through to a live source.  As the paper notes, this
+matching is strictly an optimization — a missed match only causes more
+re-execution downstream, never incorrect repair.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.ahg.records import NondetRecord
+from repro.core.clock import LogicalClock
+from repro.core.ids import random_token
+
+
+class NondetSource:
+    """Live source of non-deterministic values (normal execution)."""
+
+    def __init__(self, clock: LogicalClock, rng: random.Random) -> None:
+        self._clock = clock
+        self._rng = rng
+
+    def call(self, func: str):
+        if func == "time":
+            return self._clock.wall_time()
+        if func == "rand":
+            return self._rng.randrange(2**31)
+        if func == "token":
+            return random_token(self._rng)
+        raise ValueError(f"unknown non-deterministic function {func!r}")
+
+
+class NondetReplayer:
+    """Replays a recorded nondet log, falling back to a live source."""
+
+    def __init__(self, log: List[NondetRecord], fallback: NondetSource) -> None:
+        self._by_func: Dict[str, List[object]] = {}
+        for record in log:
+            self._by_func.setdefault(record.func, []).append(record.value)
+        self._cursor: Dict[str, int] = {}
+        self._fallback = fallback
+        self.misses = 0
+
+    def call(self, func: str):
+        values = self._by_func.get(func)
+        index = self._cursor.get(func, 0)
+        self._cursor[func] = index + 1
+        if values is not None and index < len(values):
+            return values[index]
+        self.misses += 1
+        return self._fallback.call(func)

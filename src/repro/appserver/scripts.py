@@ -1,0 +1,73 @@
+"""Versioned script files.
+
+A *script file* models one PHP source file: a name plus an exports table
+(dict mapping symbol name to callable).  Entry-point scripts export a
+``handle(ctx)`` callable.  Applying a security patch registers a new
+version; retroactive patching re-executes the runs that loaded the old
+version (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.errors import ReproError
+
+Exports = Dict[str, Callable]
+
+
+class Script:
+    """All versions of one script file."""
+
+    def __init__(self, name: str, exports: Exports) -> None:
+        self.name = name
+        self.versions: List[Exports] = [exports]
+
+    @property
+    def current_version(self) -> int:
+        return len(self.versions) - 1
+
+    def current(self) -> Exports:
+        return self.versions[-1]
+
+    def at_version(self, version: int) -> Exports:
+        return self.versions[version]
+
+    def add_version(self, exports: Exports) -> int:
+        self.versions.append(exports)
+        return self.current_version
+
+
+class ScriptStore:
+    """The application's code base."""
+
+    def __init__(self) -> None:
+        self._scripts: Dict[str, Script] = {}
+
+    def register(self, name: str, exports: Exports) -> None:
+        if name in self._scripts:
+            raise ReproError(f"script {name!r} already registered")
+        self._scripts[name] = Script(name, exports)
+
+    def patch(self, name: str, exports: Exports) -> int:
+        """Install a new version of ``name``; returns the version number."""
+        script = self.get(name)
+        return script.add_version(exports)
+
+    def get(self, name: str) -> Script:
+        try:
+            return self._scripts[name]
+        except KeyError:
+            raise ReproError(f"no such script {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._scripts
+
+    def exports(self, name: str) -> Exports:
+        return self.get(name).current()
+
+    def version(self, name: str) -> int:
+        return self.get(name).current_version
+
+    def names(self) -> List[str]:
+        return sorted(self._scripts)

@@ -1,0 +1,10 @@
+"""Comparison baselines.
+
+``repro.baselines.taint`` reimplements the offline taint-tracking
+dependency analysis of Akkuş & Goel ("Data recovery for web applications",
+DSN 2010), which the paper compares against in §8.4 / Table 5.
+"""
+
+from repro.baselines.taint import TaintAnalysis, TaintReport
+
+__all__ = ["TaintAnalysis", "TaintReport"]

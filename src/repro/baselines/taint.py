@@ -1,0 +1,108 @@
+"""Akkuş & Goel-style taint-tracking data recovery (the §8.4 baseline).
+
+Their system works offline over request logs: the administrator identifies
+the request(s) that triggered a corruption bug; taint then propagates
+request-by-request — a request that *read* a tainted database row taints
+every row it subsequently *wrote*.  The administrator then manually
+inspects and reverts the flagged rows.
+
+Two administrator-supplied knobs reduce over-approximation:
+
+* **table-level whitelisting** — reads of whitelisted tables (e.g. access
+  logs) do not propagate taint;
+* the choice of **dependency policy** (we implement the row-dependency
+  policy, their most precise one without false negatives on these bugs).
+
+The output is a flagged row set to compare against ground truth:
+``false_positives`` are legitimate rows the administrator would wrongly
+revert; ``false_negatives`` are corrupted rows the analysis missed.
+WARP needs neither the request identification nor the whitelist — only
+the patch — and repairs exactly the corrupted rows (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from repro.ahg.graph import ActionHistoryGraph
+
+Row = Tuple[str, int]  # (table, row_id)
+
+
+@dataclass
+class TaintReport:
+    """Outcome of one taint analysis run."""
+
+    flagged: Set[Row]
+    corrupted: Set[Row]
+    whitelist: FrozenSet[str]
+
+    @property
+    def false_positives(self) -> Set[Row]:
+        return self.flagged - self.corrupted
+
+    @property
+    def false_negatives(self) -> Set[Row]:
+        return self.corrupted - self.flagged
+
+    @property
+    def fp_count(self) -> int:
+        return len(self.false_positives)
+
+    @property
+    def fn_count(self) -> int:
+        return len(self.false_negatives)
+
+    @property
+    def requires_user_input(self) -> bool:
+        """The baseline always needs the admin to identify the buggy
+        request (and usually to whitelist tables)."""
+        return True
+
+
+class TaintAnalysis:
+    """Offline row-level taint propagation over WARP's recorded log."""
+
+    def __init__(self, graph: ActionHistoryGraph, whitelist: Iterable[str] = ()) -> None:
+        self.graph = graph
+        self.whitelist = frozenset(whitelist)
+
+    def analyze(self, buggy_run_ids: Iterable[int], corrupted: Set[Row]) -> TaintReport:
+        buggy = set(buggy_run_ids)
+        tainted: Set[Row] = set()
+
+        # Seed: everything the buggy requests wrote.  Whitelisted tables
+        # are excluded from the dependency analysis entirely.
+        for run in self.graph.runs_in_order():
+            if run.run_id in buggy:
+                for query in run.queries:
+                    tainted |= self._writes(query)
+
+        # Propagate forward in time: read-tainted requests taint their
+        # writes.  (A single forward pass suffices because requests only
+        # read rows written at earlier timestamps.)
+        for run in self.graph.runs_in_order():
+            if run.run_id in buggy:
+                continue
+            writes: List[Row] = []
+            run_tainted = False
+            for query in run.queries:
+                if query.kind == "select" and query.table not in self.whitelist:
+                    reads = {(query.table, rid) for rid in query.read_row_ids}
+                    if reads & tainted:
+                        run_tainted = True
+                if query.is_write:
+                    writes.extend(self._writes(query))
+            # A tainted request taints everything it wrote.
+            if run_tainted:
+                tainted |= set(writes)
+
+        return TaintReport(
+            flagged=tainted, corrupted=set(corrupted), whitelist=self.whitelist
+        )
+
+    def _writes(self, query) -> Set[Row]:
+        if query.table in self.whitelist:
+            return set()
+        return set(query.written_row_ids)

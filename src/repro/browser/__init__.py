@@ -1,0 +1,26 @@
+"""The simulated browser (the paper's Firefox + WARP extension).
+
+Provides an HTML parser and DOM, XPath addressing, a miniature JavaScript
+interpreter (``jsmini``) so XSS payloads really execute, a cookie jar,
+frames (for clickjacking), a recording extension that logs DOM-level
+events, and the server-side re-execution extension with three-way text
+merge (paper §5).
+"""
+
+from repro.browser.browser import Browser, Network, PageVisit
+from repro.browser.extension import WarpExtension
+from repro.browser.html import Document, Element, Text, parse_html
+from repro.browser.merge import MergeConflict, three_way_merge
+
+__all__ = [
+    "Browser",
+    "Network",
+    "PageVisit",
+    "WarpExtension",
+    "Document",
+    "Element",
+    "Text",
+    "parse_html",
+    "three_way_merge",
+    "MergeConflict",
+]

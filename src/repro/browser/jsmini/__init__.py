@@ -1,0 +1,17 @@
+"""jsmini: a miniature JavaScript-like language for in-page scripts.
+
+The paper's attacks hinge on injected ``<script>`` code running in the
+victim's browser and issuing HTTP requests (§1, §8.2).  jsmini gives the
+simulated browser a real (small) interpreter: lexer, recursive-descent
+parser and tree-walking evaluator with browser-provided builtins
+(``http_get``, ``http_post``, ``doc_text``, ``doc_set_value``, ...).
+
+Whether an attack fires is decided by the HTML parser (is the payload an
+element or escaped text?) and then by this interpreter — the same layering
+as a real browser.
+"""
+
+from repro.browser.jsmini.interp import Interpreter, JsError
+from repro.browser.jsmini.parser import parse_program
+
+__all__ = ["parse_program", "Interpreter", "JsError"]

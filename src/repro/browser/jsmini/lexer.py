@@ -1,0 +1,101 @@
+"""Tokenizer for jsmini."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.errors import ReproError
+
+
+class JsSyntaxError(ReproError):
+    """Raised for malformed jsmini source."""
+
+
+KEYWORDS = frozenset({"var", "if", "else", "while", "true", "false", "null"})
+
+_OPERATORS = (
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/",
+    "%", "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ";", ":", "!", ".",
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"', "/": "/"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
+    value: object
+    pos: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i)
+            if end < 0:
+                raise JsSyntaxError("unterminated block comment")
+            i = end + 2
+            continue
+        if ch in "'\"":
+            value, i = _scan_string(source, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch.isdigit():
+            start = i
+            seen_dot = False
+            while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    seen_dot = True
+                i += 1
+            raw = source[start:i]
+            tokens.append(Token("NUMBER", float(raw) if seen_dot else int(raw), start))
+            continue
+        if ch.isalpha() or ch == "_" or ch == "$":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            word = source[start:i]
+            kind = "KEYWORD" if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise JsSyntaxError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _scan_string(source: str, i: int):
+    quote = source[i]
+    i += 1
+    parts: List[str] = []
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\\" and i + 1 < n:
+            parts.append(_ESCAPES.get(source[i + 1], source[i + 1]))
+            i += 2
+            continue
+        if ch == quote:
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise JsSyntaxError("unterminated string literal")

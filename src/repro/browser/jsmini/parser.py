@@ -1,0 +1,265 @@
+"""Recursive-descent parser for jsmini."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.browser.jsmini.lexer import JsSyntaxError, Token, tokenize
+
+
+# -- AST -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class Ident:
+    name: str
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class Call:
+    func: str
+    args: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class ObjectLit:
+    items: Tuple[Tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    value: object
+
+
+@dataclass(frozen=True)
+class Assign:
+    name: str
+    value: object
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: object
+
+
+@dataclass(frozen=True)
+class If:
+    cond: object
+    then: Tuple[object, ...]
+    otherwise: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class While:
+    cond: object
+    body: Tuple[object, ...]
+
+
+@functools.lru_cache(maxsize=512)
+def parse_program(source: str) -> Tuple[object, ...]:
+    """Parse jsmini source into a tuple of statements."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _accept_op(self, op: str) -> bool:
+        if self._peek().kind == "OP" and self._peek().value == op:
+            self._next()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise JsSyntaxError(f"expected {op!r}, found {self._peek().value!r}")
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().kind == "KEYWORD" and self._peek().value == word:
+            self._next()
+            return True
+        return False
+
+    # -- statements --------------------------------------------------------
+
+    def parse_program(self) -> Tuple[object, ...]:
+        statements = []
+        while self._peek().kind != "EOF":
+            statements.append(self._parse_statement())
+        return tuple(statements)
+
+    def _parse_statement(self):
+        if self._accept_keyword("var"):
+            name_tok = self._next()
+            if name_tok.kind != "IDENT":
+                raise JsSyntaxError("expected identifier after var")
+            self._expect_op("=")
+            value = self._parse_expr()
+            self._accept_op(";")
+            return VarDecl(name_tok.value, value)
+        if self._accept_keyword("if"):
+            self._expect_op("(")
+            cond = self._parse_expr()
+            self._expect_op(")")
+            then = self._parse_block()
+            otherwise: Tuple[object, ...] = ()
+            if self._accept_keyword("else"):
+                otherwise = self._parse_block()
+            return If(cond, then, otherwise)
+        if self._accept_keyword("while"):
+            self._expect_op("(")
+            cond = self._parse_expr()
+            self._expect_op(")")
+            return While(cond, self._parse_block())
+        # assignment or expression statement
+        tok = self._peek()
+        if tok.kind == "IDENT":
+            after = self._tokens[self._pos + 1]
+            if after.kind == "OP" and after.value == "=":
+                name = self._next().value
+                self._next()  # '='
+                value = self._parse_expr()
+                self._accept_op(";")
+                return Assign(name, value)
+        expr = self._parse_expr()
+        self._accept_op(";")
+        return ExprStmt(expr)
+
+    def _parse_block(self) -> Tuple[object, ...]:
+        self._expect_op("{")
+        statements = []
+        while not self._accept_op("}"):
+            if self._peek().kind == "EOF":
+                raise JsSyntaxError("unterminated block")
+            statements.append(self._parse_statement())
+        return tuple(statements)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._peek().kind == "OP" and self._peek().value == "||":
+            self._next()
+            left = Binary("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_equality()
+        while self._peek().kind == "OP" and self._peek().value == "&&":
+            self._next()
+            left = Binary("&&", left, self._parse_equality())
+        return left
+
+    def _parse_equality(self):
+        left = self._parse_relational()
+        while self._peek().kind == "OP" and self._peek().value in ("==", "!=", "===", "!=="):
+            op = self._next().value
+            op = {"===": "==", "!==": "!="}.get(op, op)
+            left = Binary(op, left, self._parse_relational())
+        return left
+
+    def _parse_relational(self):
+        left = self._parse_additive()
+        while self._peek().kind == "OP" and self._peek().value in ("<", "<=", ">", ">="):
+            op = self._next().value
+            left = Binary(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while self._peek().kind == "OP" and self._peek().value in ("+", "-"):
+            op = self._next().value
+            left = Binary(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while self._peek().kind == "OP" and self._peek().value in ("*", "/", "%"):
+            op = self._next().value
+            left = Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self):
+        if self._accept_op("!"):
+            return Unary("!", self._parse_unary())
+        if self._accept_op("-"):
+            return Unary("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        tok = self._next()
+        if tok.kind == "NUMBER" or tok.kind == "STRING":
+            return Literal(tok.value)
+        if tok.kind == "KEYWORD":
+            if tok.value == "true":
+                return Literal(True)
+            if tok.value == "false":
+                return Literal(False)
+            if tok.value == "null":
+                return Literal(None)
+            raise JsSyntaxError(f"unexpected keyword {tok.value!r}")
+        if tok.kind == "OP" and tok.value == "(":
+            expr = self._parse_expr()
+            self._expect_op(")")
+            return expr
+        if tok.kind == "OP" and tok.value == "{":
+            return self._parse_object()
+        if tok.kind == "IDENT":
+            if self._accept_op("("):
+                args = []
+                if not self._accept_op(")"):
+                    args.append(self._parse_expr())
+                    while self._accept_op(","):
+                        args.append(self._parse_expr())
+                    self._expect_op(")")
+                return Call(tok.value, tuple(args))
+            return Ident(tok.value)
+        raise JsSyntaxError(f"unexpected token {tok.value!r}")
+
+    def _parse_object(self):
+        items = []
+        if self._accept_op("}"):
+            return ObjectLit(())
+        while True:
+            key_tok = self._next()
+            if key_tok.kind not in ("STRING", "IDENT"):
+                raise JsSyntaxError("object keys must be strings or identifiers")
+            self._expect_op(":")
+            items.append((str(key_tok.value), self._parse_expr()))
+            if self._accept_op("}"):
+                return ObjectLit(tuple(items))
+            self._expect_op(",")

@@ -1,0 +1,112 @@
+"""Three-way text merge for replaying keyboard input (paper §5.3).
+
+When the re-execution extension replays typing into a text field, the
+field's content on the repaired page may differ from what the user
+originally saw (e.g. the attacker's appended text is gone).  The merge
+combines:
+
+* ``base``   — the field's value when the user originally saw the page,
+* ``ours``   — the value the user left in the field (their edit), and
+* ``theirs`` — the field's value on the repaired page,
+
+producing the user's edit applied on top of the repaired content, or
+raising :class:`MergeConflict` when the user's changes overlap regions
+that repair altered (e.g. the user edited the attacker's text itself).
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import List, Tuple
+
+from repro.core.errors import ReproError
+
+
+class MergeConflict(ReproError):
+    """The user's edit overlaps a region changed by repair."""
+
+
+def three_way_merge(base: str, ours: str, theirs: str) -> str:
+    """Line-oriented three-way merge with word-level granularity fallback.
+
+    Follows the classic diff3 structure: compute base→ours and base→theirs
+    edits; apply non-overlapping edits from both; overlapping, conflicting
+    edits raise :class:`MergeConflict`.
+    """
+    if ours == base:
+        return theirs
+    if theirs == base:
+        return ours
+    if ours == theirs:
+        return ours
+
+    # Split on '\n' (not keepends): appending a line to a file without a
+    # trailing newline must register as an *insert*, not a rewrite of the
+    # last line, or every append would conflict with an append-removal.
+    base_lines = base.split("\n")
+    our_lines = ours.split("\n")
+    their_lines = theirs.split("\n")
+
+    our_ops = _opcodes(base_lines, our_lines)
+    their_ops = _opcodes(base_lines, their_lines)
+    merged = _merge_ops(base_lines, our_lines, their_lines, our_ops, their_ops)
+    return "\n".join(merged)
+
+
+def _opcodes(base: List[str], other: List[str]):
+    matcher = difflib.SequenceMatcher(a=base, b=other, autojunk=False)
+    return matcher.get_opcodes()
+
+
+def _changed_regions(ops) -> List[Tuple[int, int, int, int]]:
+    """(base_lo, base_hi, other_lo, other_hi) for each non-equal block."""
+    return [
+        (a_lo, a_hi, b_lo, b_hi)
+        for tag, a_lo, a_hi, b_lo, b_hi in ops
+        if tag != "equal"
+    ]
+
+
+def _merge_ops(base, ours, theirs, our_ops, their_ops) -> List[str]:
+    our_regions = _changed_regions(our_ops)
+    their_regions = _changed_regions(their_ops)
+
+    # Check for overlapping changed base regions.
+    for a_lo, a_hi, ob_lo, ob_hi in our_regions:
+        for b_lo, b_hi, tb_lo, tb_hi in their_regions:
+            if a_lo < b_hi and b_lo < a_hi or (a_lo == b_lo and a_hi == b_hi):
+                # Identical replacement on both sides is not a conflict.
+                if ours[ob_lo:ob_hi] == theirs[tb_lo:tb_hi] and (a_lo, a_hi) == (b_lo, b_hi):
+                    continue
+                raise MergeConflict(
+                    f"edits overlap at base lines {max(a_lo, b_lo)}..{min(a_hi, b_hi)}"
+                )
+
+    # Apply both sides' edits over the base, walking base line indexes.
+    replacements = []
+    for a_lo, a_hi, b_lo, b_hi in our_regions:
+        replacements.append((a_lo, a_hi, ours[b_lo:b_hi]))
+    for a_lo, a_hi, b_lo, b_hi in their_regions:
+        replacements.append((a_lo, a_hi, theirs[b_lo:b_hi]))
+    # Deduplicate identical co-located replacements (both sides made the
+    # same change).
+    unique = {}
+    for a_lo, a_hi, lines in replacements:
+        key = (a_lo, a_hi, tuple(lines))
+        unique[key] = (a_lo, a_hi, lines)
+    ordered = sorted(unique.values(), key=lambda r: (r[0], r[1]))
+
+    merged: List[str] = []
+    cursor = 0
+    for a_lo, a_hi, lines in ordered:
+        if a_lo < cursor:
+            # Two inserts at the same point from different sides: keep both.
+            if a_lo == a_hi and cursor == a_lo + (cursor - a_lo):
+                merged.extend(lines)
+                continue
+            raise MergeConflict("interleaved edits cannot be ordered")
+        merged.extend(base[cursor:a_lo])
+        merged.extend(lines)
+        cursor = a_hi
+    merged.extend(base[cursor:])
+    return merged

@@ -1,0 +1,99 @@
+"""XPath generation and resolution for DOM-level event replay (paper §5.2).
+
+The recording extension stores the XPath of each event's target element;
+the re-execution extension resolves it against the (possibly changed)
+repaired page.  Resolution falls back to matching by id/name attributes,
+which is what makes DOM-level replay robust to small page changes —
+"DOM elements are more likely to be unaffected by small changes to an
+HTML page" (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.browser.html import Document, Element
+
+
+def xpath_of(element: Element) -> str:
+    """Absolute XPath like ``/html[1]/body[1]/form[1]/input[2]``."""
+    parts = []
+    node = element
+    while node is not None and node.tag != "#document":
+        parent = node.parent
+        if parent is None:
+            parts.append(f"/{node.tag}[1]")
+            break
+        index = 0
+        for sibling in parent.children:
+            if isinstance(sibling, Element) and sibling.tag == node.tag:
+                index += 1
+                if sibling is node:
+                    break
+        parts.append(f"/{node.tag}[{index}]")
+        node = parent
+    return "".join(reversed(parts))
+
+
+def resolve_xpath(document: Document, xpath: str) -> Optional[Element]:
+    """Resolve an absolute XPath produced by :func:`xpath_of`."""
+    node: Element = document.root
+    if not xpath.startswith("/"):
+        return None
+    for step in xpath.strip("/").split("/"):
+        tag, _, index_part = step.partition("[")
+        index = int(index_part.rstrip("]")) if index_part else 1
+        count = 0
+        found = None
+        for child in node.children:
+            if isinstance(child, Element) and child.tag == tag:
+                count += 1
+                if count == index:
+                    found = child
+                    break
+        if found is None:
+            return None
+        node = found
+    return node
+
+
+def identifying_attrs(element: Element) -> Dict[str, str]:
+    """Attributes worth recording to re-find this element later."""
+    attrs = {}
+    for key in ("id", "name", "href", "action"):
+        if key in element.attrs:
+            attrs[key] = element.attrs[key]
+    return attrs
+
+
+def resolve_target(
+    document: Document,
+    xpath: str,
+    attrs: Optional[Dict[str, str]] = None,
+    tag: Optional[str] = None,
+) -> Optional[Element]:
+    """Find an event's target: exact XPath first, attribute fallback second.
+
+    The fallback requires a *unique* element with the recorded tag whose
+    identifying attributes all match; ambiguity returns None (conflict).
+    """
+    element = resolve_xpath(document, xpath)
+    if element is not None and (tag is None or element.tag == tag):
+        if element is not None and _attrs_match(element, attrs):
+            return element
+    if not attrs or tag is None:
+        return element if element is not None and (tag is None or element.tag == tag) else None
+    candidates = [
+        el
+        for el in document.iter()
+        if el.tag == tag and _attrs_match(el, attrs)
+    ]
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+def _attrs_match(element: Element, attrs: Optional[Dict[str, str]]) -> bool:
+    if not attrs:
+        return True
+    return all(element.attrs.get(key) == value for key, value in attrs.items())

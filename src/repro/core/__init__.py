@@ -1,0 +1,31 @@
+"""Core primitives shared by every WARP subsystem.
+
+The reproduction runs entirely on a logical clock: every recorded action
+(HTTP request, application run, SQL query, browser event) is stamped with a
+strictly increasing integer timestamp.  Determinism of the whole system —
+and therefore of repair — hinges on this module.
+"""
+
+from repro.core.clock import INFINITY, LogicalClock
+from repro.core.errors import (
+    ConflictError,
+    ReproError,
+    RepairError,
+    SqlError,
+    StorageError,
+    UniqueViolation,
+)
+from repro.core.ids import IdAllocator, random_token
+
+__all__ = [
+    "INFINITY",
+    "LogicalClock",
+    "IdAllocator",
+    "random_token",
+    "ReproError",
+    "SqlError",
+    "StorageError",
+    "RepairError",
+    "ConflictError",
+    "UniqueViolation",
+]

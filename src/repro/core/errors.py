@@ -1,0 +1,37 @@
+"""Exception hierarchy for the WARP reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SqlError(ReproError):
+    """Raised for SQL syntax errors and invalid statements."""
+
+
+class StorageError(ReproError):
+    """Raised for schema violations: unknown tables/columns, uniqueness."""
+
+
+class UniqueViolation(StorageError):
+    """An INSERT or UPDATE would violate a uniqueness constraint."""
+
+
+class RepairError(ReproError):
+    """Raised when the repair controller cannot make progress."""
+
+
+class ConflictError(ReproError):
+    """Raised internally when browser replay cannot proceed.
+
+    Conflicts are normally *queued*, not raised to the caller (paper §5.4);
+    this exception is the internal signalling mechanism inside the replay
+    extension.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(reason if not detail else f"{reason}: {detail}")
+        self.reason = reason
+        self.detail = detail

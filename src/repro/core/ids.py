@@ -1,0 +1,40 @@
+"""Deterministic identifier allocation.
+
+Client IDs, visit IDs, request IDs, session tokens: everything WARP uses to
+correlate browser activity with server activity (paper §5.1).  The paper
+uses long random values for client IDs; we derive them from a seeded PRNG
+so whole-system runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def random_token(rng: random.Random, length: int = 24) -> str:
+    """Return an unguessable-looking token drawn from ``rng``."""
+    return "".join(rng.choice(_ALPHABET) for _ in range(length))
+
+
+class IdAllocator:
+    """Per-namespace monotonic counters.
+
+    ``IdAllocator.next("run")`` returns 1, 2, 3... independently of
+    ``IdAllocator.next("visit")``.  Used for server-side run IDs, query IDs,
+    page-visit IDs, and anything else that needs small unique integers.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def next(self, namespace: str) -> int:
+        value = self._counters.get(namespace, 0) + 1
+        self._counters[namespace] = value
+        return value
+
+    def peek(self, namespace: str) -> int:
+        """Return the last allocated id in ``namespace`` (0 if none)."""
+        return self._counters.get(namespace, 0)

@@ -1,0 +1,20 @@
+"""The SQL database substrate (replaces PostgreSQL from the paper).
+
+``repro.db`` provides the storage engine and SQL front end; the WARP
+time-travel semantics (continuous versioning, repair generations,
+partition dependency analysis) are layered on top in :mod:`repro.ttdb`.
+"""
+
+from repro.db.executor import ExecContext, Executor, QueryResult
+from repro.db.storage import Column, Database, RowVersion, Table, TableSchema
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "Table",
+    "RowVersion",
+    "Database",
+    "Executor",
+    "ExecContext",
+    "QueryResult",
+]

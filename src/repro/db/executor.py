@@ -1,0 +1,494 @@
+"""Statement execution against the versioned storage.
+
+The executor implements the query-rewriting semantics of paper §4.4
+directly on :class:`repro.db.storage.Table` version chains:
+
+* reads are restricted to versions visible at ``(ts, gen)``;
+* normal-execution writes close the old version at ``ts`` and open a new
+  one in the executing generation;
+* repair-mode writes first preserve a copy of each modified row for the
+  *current* generation, so the live application keeps an unchanged view
+  while repair rewrites history in the *next* generation (§4.3).
+
+It also supports a *plain* mode (``versioned=False``) used by the
+"No WARP" baseline in Table 6: updates mutate rows in place and nothing is
+versioned, which is what a stock database would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.clock import INFINITY
+from repro.core.errors import SqlError, StorageError
+from repro.db.sql import ast
+from repro.db.sql.eval import aggregate, evaluate, truthy
+from repro.db.storage import Database, RowVersion, Table
+
+PartitionKey = Tuple[str, str, object]  # (table, column, value)
+
+
+@dataclass
+class ExecContext:
+    """Where/when a statement executes.
+
+    ``gen`` is the generation the statement runs in; ``current_gen`` is the
+    live generation (they differ only during repair); ``repair`` marks
+    repair-mode writes which must preserve current-generation copies.
+    ``forced_row_ids`` makes INSERT re-execution reuse the original rows'
+    IDs so identical re-executions compare equal (paper §4.2).
+    """
+
+    ts: int
+    gen: int
+    current_gen: int
+    repair: bool = False
+    forced_row_ids: Tuple[int, ...] = ()
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one statement, rich enough for dependency tracking."""
+
+    kind: str  # 'select' | 'insert' | 'update' | 'delete'
+    table: str
+    rows: Optional[List[Dict[str, object]]] = None
+    rowcount: int = 0
+    affected_row_ids: Tuple[int, ...] = ()
+    inserted_row_ids: Tuple[int, ...] = ()
+    #: Logical rows a SELECT examined (row-level read dependencies; used by
+    #: the taint-tracking baseline of §8.4).
+    read_row_ids: Tuple[int, ...] = ()
+    ok: bool = True
+    error: Optional[str] = None
+    written_partitions: FrozenSet[PartitionKey] = frozenset()
+
+    def snapshot(self) -> Tuple:
+        """Canonical comparable form (paper: 'produces results different
+        from the original execution')."""
+        if self.kind == "select":
+            assert self.rows is not None
+            return (
+                "select",
+                self.ok,
+                tuple(tuple(sorted(row.items())) for row in self.rows),
+            )
+        return (
+            "write",
+            self.kind,
+            self.ok,
+            self.rowcount,
+            tuple(sorted(self.affected_row_ids)),
+            tuple(sorted(self.inserted_row_ids)),
+        )
+
+
+class Executor:
+    """Executes parsed statements against a :class:`Database`."""
+
+    def __init__(self, database: Database, versioned: bool = True) -> None:
+        self.database = database
+        self.versioned = versioned
+
+    # -- dispatch -------------------------------------------------------------
+
+    def execute(
+        self,
+        stmt: ast.Statement,
+        params: Sequence[object],
+        ctx: ExecContext,
+    ) -> QueryResult:
+        if isinstance(stmt, ast.Select):
+            return self._select(stmt, params, ctx)
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt, params, ctx)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt, params, ctx)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt, params, ctx)
+        raise SqlError(f"cannot execute {type(stmt).__name__}")
+
+    # -- visibility -----------------------------------------------------------
+
+    def _visible(self, table: Table, ctx: ExecContext):
+        if self.versioned:
+            yield from table.visible_rows(ctx.ts, ctx.gen)
+        else:
+            for row_id in sorted(table.versions):
+                for version in table.versions[row_id]:
+                    yield version
+                    break
+
+    def _matching(
+        self,
+        table: Table,
+        where: Optional[ast.Expr],
+        params: Sequence[object],
+        ctx: ExecContext,
+    ) -> List[RowVersion]:
+        candidates = self._index_candidates(table, where, params)
+        if candidates is not None:
+            matched = []
+            for row_id in sorted(candidates):
+                if self.versioned:
+                    version = table.visible_version(row_id, ctx.ts, ctx.gen)
+                else:
+                    chain = table.row_versions(row_id)
+                    version = chain[0] if chain else None
+                if version is not None and (
+                    where is None or truthy(evaluate(where, version.data, params))
+                ):
+                    matched.append(version)
+            return matched
+        matched = []
+        for version in self._visible(table, ctx):
+            if where is None or truthy(evaluate(where, version.data, params)):
+                matched.append(version)
+        return matched
+
+    def _index_candidates(
+        self,
+        table: Table,
+        where: Optional[ast.Expr],
+        params: Sequence[object],
+    ):
+        """Candidate row IDs from the equality index, or None to full-scan.
+
+        Only top-level AND-ed ``col = const`` conjuncts are considered; the
+        index is a superset, so every candidate is still visibility- and
+        WHERE-checked.
+        """
+        if where is None:
+            return None
+        best = None
+        for column, value in _equality_conjuncts(where, params):
+            rows = table.candidate_row_ids(column, value)
+            if rows is None:
+                continue
+            if best is None or len(rows) < len(best):
+                best = rows
+        return best
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _select(
+        self, stmt: ast.Select, params: Sequence[object], ctx: ExecContext
+    ) -> QueryResult:
+        table = self.database.table(stmt.table)
+        matched = self._matching(table, stmt.where, params, ctx)
+
+        if stmt.is_aggregate:
+            datas = [version.data for version in matched]
+            row: Dict[str, object] = {}
+            for index, item in enumerate(stmt.items):
+                name = item.alias or _default_name(item.expr, index)
+                if isinstance(item.expr, ast.Aggregate):
+                    row[name] = aggregate(item.expr.name, item.expr.arg, datas, params)
+                else:
+                    raise SqlError("cannot mix aggregates and plain columns")
+            return QueryResult(
+                kind="select",
+                table=stmt.table,
+                rows=[row],
+                rowcount=1,
+                read_row_ids=tuple(version.row_id for version in matched),
+            )
+
+        if stmt.order_by:
+            matched.sort(
+                key=lambda v: tuple(
+                    _sort_key(evaluate(o.expr, v.data, params), o.descending)
+                    for o in stmt.order_by
+                )
+            )
+
+        rows: List[Dict[str, object]] = []
+        for version in matched:
+            if stmt.is_star:
+                rows.append(dict(version.data))
+            else:
+                projected: Dict[str, object] = {}
+                for index, item in enumerate(stmt.items):
+                    name = item.alias or _default_name(item.expr, index)
+                    projected[name] = evaluate(item.expr, version.data, params)
+                rows.append(projected)
+
+        if stmt.distinct:
+            seen = set()
+            unique_rows = []
+            for row in rows:
+                key = tuple(sorted(row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique_rows.append(row)
+            rows = unique_rows
+        if stmt.offset:
+            rows = rows[stmt.offset :]
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        return QueryResult(
+            kind="select",
+            table=stmt.table,
+            rows=rows,
+            rowcount=len(rows),
+            read_row_ids=tuple(version.row_id for version in matched),
+        )
+
+    # -- INSERT ---------------------------------------------------------------
+
+    def _insert(
+        self, stmt: ast.Insert, params: Sequence[object], ctx: ExecContext
+    ) -> QueryResult:
+        table = self.database.table(stmt.table)
+        schema = table.schema
+        for column in stmt.columns:
+            if not schema.has_column(column):
+                raise StorageError(
+                    f"table {schema.name!r} has no column {column!r}"
+                )
+        new_rows: List[Dict[str, object]] = []
+        for value_tuple in stmt.rows:
+            data = {col.name: None for col in schema.columns}
+            for column, expr in zip(stmt.columns, value_tuple):
+                data[column] = evaluate(expr, {}, params)
+            new_rows.append(data)
+
+        # Uniqueness among rows visible *now* (plus the batch itself).
+        for index, data in enumerate(new_rows):
+            violated = table.unique_conflict(data, ctx.ts, ctx.gen)
+            if violated is None:
+                violated = _batch_conflict(schema.unique_keys, new_rows, index)
+            if violated is not None:
+                return QueryResult(
+                    kind="insert",
+                    table=stmt.table,
+                    ok=False,
+                    error=f"unique constraint {violated} violated",
+                )
+
+        inserted = []
+        partitions = set()
+        for index, data in enumerate(new_rows):
+            if index < len(ctx.forced_row_ids):
+                row_id = ctx.forced_row_ids[index]
+                table._next_row_id = max(table._next_row_id, row_id + 1)
+            else:
+                row_id = table.allocate_row_id(data)
+            # AUTO INCREMENT semantics: surface the allocated ID through the
+            # designated row-ID column when the application left it NULL.
+            id_column = schema.row_id_column
+            if id_column is not None and data.get(id_column) is None:
+                data[id_column] = row_id
+            if self.versioned:
+                version = RowVersion(
+                    row_id,
+                    data,
+                    start_ts=ctx.ts,
+                    end_ts=INFINITY,
+                    start_gen=ctx.gen,
+                    end_gen=INFINITY,
+                )
+            else:
+                version = RowVersion(row_id, data, start_ts=0)
+            table.add_version(version)
+            inserted.append(row_id)
+            partitions |= _partition_keys(schema, data)
+        return QueryResult(
+            kind="insert",
+            table=stmt.table,
+            rowcount=len(inserted),
+            inserted_row_ids=tuple(inserted),
+            written_partitions=frozenset(partitions),
+        )
+
+    # -- UPDATE ---------------------------------------------------------------
+
+    def _update(
+        self, stmt: ast.Update, params: Sequence[object], ctx: ExecContext
+    ) -> QueryResult:
+        table = self.database.table(stmt.table)
+        schema = table.schema
+        for column, _ in stmt.assignments:
+            if not schema.has_column(column):
+                raise StorageError(f"table {schema.name!r} has no column {column!r}")
+        matched = self._matching(table, stmt.where, params, ctx)
+
+        updates: List[Tuple[RowVersion, Dict[str, object]]] = []
+        for version in matched:
+            new_data = dict(version.data)
+            for column, expr in stmt.assignments:
+                new_data[column] = evaluate(expr, version.data, params)
+            updates.append((version, new_data))
+
+        # Uniqueness check before mutating anything.
+        for version, new_data in updates:
+            violated = table.unique_conflict(
+                new_data, ctx.ts, ctx.gen, exclude_row_id=version.row_id
+            )
+            if violated is not None:
+                return QueryResult(
+                    kind="update",
+                    table=stmt.table,
+                    ok=False,
+                    error=f"unique constraint {violated} violated",
+                )
+
+        partitions = set()
+        affected = []
+        for version, new_data in updates:
+            partitions |= _partition_keys(schema, version.data)
+            partitions |= _partition_keys(schema, new_data)
+            affected.append(version.row_id)
+            if not self.versioned:
+                version.data = new_data
+                continue
+            self._supersede(table, version, ctx)
+            table.add_version(
+                RowVersion(
+                    version.row_id,
+                    new_data,
+                    start_ts=ctx.ts,
+                    end_ts=INFINITY,
+                    start_gen=ctx.gen,
+                    end_gen=INFINITY,
+                )
+            )
+        return QueryResult(
+            kind="update",
+            table=stmt.table,
+            rowcount=len(affected),
+            affected_row_ids=tuple(affected),
+            written_partitions=frozenset(partitions),
+        )
+
+    # -- DELETE ---------------------------------------------------------------
+
+    def _delete(
+        self, stmt: ast.Delete, params: Sequence[object], ctx: ExecContext
+    ) -> QueryResult:
+        table = self.database.table(stmt.table)
+        matched = self._matching(table, stmt.where, params, ctx)
+        partitions = set()
+        affected = []
+        for version in matched:
+            partitions |= _partition_keys(table.schema, version.data)
+            affected.append(version.row_id)
+            if not self.versioned:
+                table.remove_version(version)
+                continue
+            self._supersede(table, version, ctx)
+        return QueryResult(
+            kind="delete",
+            table=stmt.table,
+            rowcount=len(affected),
+            affected_row_ids=tuple(affected),
+            written_partitions=frozenset(partitions),
+        )
+
+    # -- repair support -----------------------------------------------------------
+
+    def matching_rows(
+        self,
+        table_name: str,
+        where: Optional[ast.Expr],
+        params: Sequence[object],
+        ctx: ExecContext,
+    ) -> List[RowVersion]:
+        """Rows a WHERE clause selects at (ts, gen) — used by two-phase
+        write re-execution to find the *new* matching row IDs (§4.2)."""
+        table = self.database.table(table_name)
+        return self._matching(table, where, params, ctx)
+
+    # -- write plumbing ---------------------------------------------------------
+
+    def _supersede(self, table: Table, version: RowVersion, ctx: ExecContext) -> None:
+        """End ``version`` at ``ctx.ts`` in the executing generation.
+
+        In repair mode this is the §4.4 dance: matching rows that are still
+        visible to the live (current) generation get a preserved copy so
+        concurrent normal execution keeps seeing them, and the version being
+        modified is re-homed into the repair generation before being closed.
+        """
+        if ctx.repair and version.start_gen <= ctx.current_gen:
+            preserved = version.copy()
+            preserved.end_gen = ctx.current_gen
+            table.add_version(preserved)
+            version.start_gen = ctx.gen
+        version.end_ts = ctx.ts
+
+
+def _batch_conflict(
+    unique_keys: Tuple[Tuple[str, ...], ...],
+    new_rows: List[Dict[str, object]],
+    index: int,
+) -> Optional[Tuple[str, ...]]:
+    """Check row ``index`` against earlier rows of the same INSERT batch."""
+    data = new_rows[index]
+    for key in unique_keys:
+        candidate = tuple(data.get(col) for col in key)
+        if any(value is None for value in candidate):
+            continue
+        for other in new_rows[:index]:
+            if tuple(other.get(col) for col in key) == candidate:
+                return key
+    return None
+
+
+def _equality_conjuncts(expr: ast.Expr, params: Sequence[object]):
+    """Yield (column, value) for top-level AND-ed equality comparisons."""
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "AND":
+            yield from _equality_conjuncts(expr.left, params)
+            yield from _equality_conjuncts(expr.right, params)
+            return
+        if expr.op == "=":
+            pairs = (
+                (expr.left, expr.right),
+                (expr.right, expr.left),
+            )
+            for column_side, value_side in pairs:
+                if isinstance(column_side, ast.ColumnRef):
+                    if isinstance(value_side, ast.Literal):
+                        yield (column_side.name, value_side.value)
+                    elif isinstance(value_side, ast.Param) and value_side.index < len(
+                        params
+                    ):
+                        yield (column_side.name, params[value_side.index])
+
+
+def _partition_keys(schema, data: Dict[str, object]) -> set:
+    """The (table, column, value) partition keys a concrete row belongs to."""
+    keys = set()
+    for column in schema.partition_columns:
+        value = data.get(column)
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            keys.add((schema.name, column, value))
+    return keys
+
+
+def _default_name(expr: ast.Expr, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.Aggregate):
+        return expr.name.lower()
+    return f"col{index}"
+
+
+def _sort_key(value, descending: bool):
+    """Total order across None/bool/int/float/str for ORDER BY."""
+    if value is None:
+        rank, key = 0, 0
+    elif isinstance(value, bool):
+        rank, key = 1, int(value)
+    elif isinstance(value, (int, float)):
+        rank, key = 1, value
+    else:
+        rank, key = 2, str(value)
+    if descending:
+        if rank == 2:
+            # Invert strings by negating each character's code point.
+            key = tuple(-ord(ch) for ch in key)
+            return (-rank, key)
+        return (-rank, -key)
+    return (rank, key)

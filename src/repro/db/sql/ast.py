@@ -1,0 +1,166 @@
+"""AST node definitions for the SQL subset.
+
+All nodes are frozen dataclasses so query ASTs can be cached and safely
+shared between the normal-execution path and repair re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int, float, str, bool or None
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A ``?`` placeholder; ``index`` is its 0-based position."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A column reference; ``table`` is the optional qualifier."""
+
+    name: str
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # '=', '!=', '<', '<=', '>', '>=', 'AND', 'OR', '+', '-', '*', '/', '%', '||'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # 'NOT', '-'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    needle: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Scalar function call (LOWER, UPPER, LENGTH, COALESCE, ABS, SUBSTR)."""
+
+    name: str  # upper-cased
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """Aggregate function over the matched row set.
+
+    ``COUNT(*)`` is represented with ``arg=None``.
+    """
+
+    name: str  # COUNT, SUM, MAX, MIN, AVG
+    arg: Optional[Expr]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+class Statement:
+    """Marker base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    table: str
+    items: Tuple[SelectItem, ...]  # empty tuple means SELECT *
+    where: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    @property
+    def is_star(self) -> bool:
+        return not self.items
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(isinstance(item.expr, Aggregate) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+def is_write(stmt: Statement) -> bool:
+    """True for statements that can modify rows."""
+    return isinstance(stmt, (Insert, Update, Delete))

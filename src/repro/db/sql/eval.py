@@ -1,0 +1,245 @@
+"""Expression evaluation over a single row.
+
+SQL three-valued logic is implemented to the extent the applications need:
+any comparison involving NULL yields NULL, ``AND``/``OR`` propagate NULL,
+and a WHERE clause accepts a row only when the predicate is truthy (NULL is
+treated as false at the filter boundary).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Sequence
+
+from repro.core.errors import SqlError
+from repro.db.sql import ast
+
+
+def evaluate(expr: ast.Expr, row: Dict[str, object], params: Sequence[object]):
+    """Evaluate ``expr`` against ``row`` with positional ``params``."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        if expr.index >= len(params):
+            raise SqlError(
+                f"query references parameter {expr.index + 1} but only "
+                f"{len(params)} supplied"
+            )
+        return params[expr.index]
+    if isinstance(expr, ast.ColumnRef):
+        if expr.name not in row:
+            raise SqlError(f"unknown column {expr.name!r}")
+        return row[expr.name]
+    if isinstance(expr, ast.BinaryOp):
+        return _eval_binary(expr, row, params)
+    if isinstance(expr, ast.UnaryOp):
+        return _eval_unary(expr, row, params)
+    if isinstance(expr, ast.InList):
+        return _eval_in(expr, row, params)
+    if isinstance(expr, ast.Like):
+        return _eval_like(expr, row, params)
+    if isinstance(expr, ast.Between):
+        operand = evaluate(expr.operand, row, params)
+        low = evaluate(expr.low, row, params)
+        high = evaluate(expr.high, row, params)
+        if operand is None or low is None or high is None:
+            return None
+        return low <= operand <= high
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.operand, row, params)
+        result = value is None
+        return not result if expr.negated else result
+    if isinstance(expr, ast.FuncCall):
+        return _eval_func(expr, row, params)
+    if isinstance(expr, ast.Aggregate):
+        raise SqlError("aggregate used outside of a SELECT list")
+    raise SqlError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def truthy(value) -> bool:
+    """WHERE-clause boundary: NULL and false reject the row."""
+    return bool(value) and value is not None
+
+
+def _eval_binary(expr: ast.BinaryOp, row, params):
+    op = expr.op
+    if op == "AND":
+        left = evaluate(expr.left, row, params)
+        if left is False:
+            return False
+        right = evaluate(expr.right, row, params)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return bool(left) and bool(right)
+    if op == "OR":
+        left = evaluate(expr.left, row, params)
+        if left is True or (left is not None and left not in (False, 0)):
+            if left is True or bool(left):
+                return True
+        right = evaluate(expr.right, row, params)
+        if right is not None and bool(right):
+            return True
+        if left is None or right is None:
+            return None
+        return bool(left) or bool(right)
+
+    left = evaluate(expr.left, row, params)
+    right = evaluate(expr.right, row, params)
+    if op == "||":
+        if left is None or right is None:
+            return None
+        return _as_text(left) + _as_text(right)
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op in ("<", "<=", ">", ">="):
+        try:
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        except TypeError:
+            raise SqlError(
+                f"cannot compare {type(left).__name__} with {type(right).__name__}"
+            ) from None
+    if op in ("+", "-", "*", "/", "%"):
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    return None
+                if isinstance(left, int) and isinstance(right, int):
+                    return left // right
+                return left / right
+            if right == 0:
+                return None
+            return left % right
+        except TypeError:
+            raise SqlError("arithmetic on non-numeric operands") from None
+    raise SqlError(f"unknown binary operator {op!r}")
+
+
+def _eval_unary(expr: ast.UnaryOp, row, params):
+    value = evaluate(expr.operand, row, params)
+    if expr.op == "NOT":
+        if value is None:
+            return None
+        return not bool(value)
+    if expr.op == "-":
+        if value is None:
+            return None
+        return -value
+    raise SqlError(f"unknown unary operator {expr.op!r}")
+
+
+def _eval_in(expr: ast.InList, row, params):
+    needle = evaluate(expr.needle, row, params)
+    if needle is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        value = evaluate(item, row, params)
+        if value is None:
+            saw_null = True
+        elif value == needle:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated
+
+
+def _eval_like(expr: ast.Like, row, params):
+    operand = evaluate(expr.operand, row, params)
+    pattern = evaluate(expr.pattern, row, params)
+    if operand is None or pattern is None:
+        return None
+    regex = _like_regex(str(pattern))
+    matched = regex.match(str(operand)) is not None
+    return not matched if expr.negated else matched
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    cached = _LIKE_CACHE.get(pattern)
+    if cached is not None:
+        return cached
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    compiled = re.compile("^" + "".join(out) + "$", re.DOTALL)
+    _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def _eval_func(expr: ast.FuncCall, row, params):
+    args = [evaluate(arg, row, params) for arg in expr.args]
+    name = expr.name
+    if name == "COALESCE":
+        for arg in args:
+            if arg is not None:
+                return arg
+        return None
+    if name == "LOWER":
+        return None if args[0] is None else str(args[0]).lower()
+    if name == "UPPER":
+        return None if args[0] is None else str(args[0]).upper()
+    if name == "LENGTH":
+        return None if args[0] is None else len(str(args[0]))
+    if name == "ABS":
+        return None if args[0] is None else abs(args[0])
+    if name == "SUBSTR":
+        if args[0] is None:
+            return None
+        text = str(args[0])
+        start = int(args[1]) - 1 if len(args) > 1 else 0
+        if len(args) > 2:
+            return text[start : start + int(args[2])]
+        return text[start:]
+    raise SqlError(f"unknown function {name!r}")
+
+
+def aggregate(name: str, arg: Optional[ast.Expr], rows, params):
+    """Compute aggregate ``name`` over ``rows`` (list of row dicts)."""
+    if name == "COUNT":
+        if arg is None:
+            return len(rows)
+        return sum(1 for row in rows if evaluate(arg, row, params) is not None)
+    values = [evaluate(arg, row, params) for row in rows]
+    values = [value for value in values if value is not None]
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "MAX":
+        return max(values)
+    if name == "MIN":
+        return min(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    raise SqlError(f"unknown aggregate {name!r}")
+
+
+def _as_text(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)

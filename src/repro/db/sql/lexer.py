@@ -1,0 +1,127 @@
+"""SQL tokenizer.
+
+Produces a flat list of tokens; string literals use SQL conventions
+(single quotes, doubled-quote escaping).  Keywords are case-insensitive and
+normalised to upper case; identifiers preserve their case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.errors import SqlError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE",
+        "SET", "DELETE", "AND", "OR", "NOT", "NULL", "IN", "LIKE", "IS",
+        "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "BETWEEN",
+        "TRUE", "FALSE", "DISTINCT",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("||", "<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*",
+              "/", "%", "(", ")", ",", "?", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
+    ``OP`` or ``EOF``; ``value`` holds the normalised text (or the parsed
+    number / unescaped string), ``pos`` the character offset for error
+    messages.
+    """
+
+    kind: str
+    value: object
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "OP" and self.value == op
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # SQL line comment.
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            value, i = _scan_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _scan_number(text, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _scan_string(text: str, i: int) -> tuple:
+    """Scan a single-quoted string starting at ``i``; '' escapes a quote."""
+    assert text[i] == "'"
+    i += 1
+    parts: List[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlError("unterminated string literal")
+
+
+def _scan_number(text: str, i: int) -> tuple:
+    start = i
+    n = len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            seen_dot = True
+        i += 1
+    raw = text[start:i]
+    if seen_dot:
+        return float(raw), i
+    return int(raw), i

@@ -1,0 +1,299 @@
+"""Versioned row storage — the substrate under the time-travel database.
+
+Every logical row is a chain of :class:`RowVersion` objects.  A version is
+valid for the half-open time interval ``[start_ts, end_ts)`` and the closed
+generation interval ``[start_gen, end_gen]`` (paper §4.2–§4.4).  "Current"
+versions have ``end_ts == INFINITY``; versions not yet superseded in any
+repair generation have ``end_gen == INFINITY``.
+
+The storage layer knows nothing about SQL or repair; it provides version
+visibility, row-ID indexing and uniqueness bookkeeping.  Query rewriting
+semantics live in :mod:`repro.ttdb.timetravel`; plain (non-versioned)
+execution for the "No WARP" baseline lives in the executor.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.clock import INFINITY
+from repro.core.errors import StorageError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition.  Types are advisory (the engine is dynamic)."""
+
+    name: str
+    type: str = "text"  # 'text' | 'int' | 'float' | 'bool'
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema plus the WARP annotations from §4.1.
+
+    ``row_id_column`` names an application column whose value is assigned
+    once at row creation and never overwritten; if ``None``, WARP manages a
+    synthetic row ID transparently (the paper's extra ``row_id`` column).
+    ``partition_columns`` drive fine-grained read-dependency analysis.
+    ``unique_keys`` are enforced among *currently visible* rows only, which
+    mirrors the paper's trick of extending unique indexes with
+    ``end_ts``/``end_gen`` (§6).
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    row_id_column: Optional[str] = None
+    partition_columns: Tuple[str, ...] = ()
+    unique_keys: Tuple[Tuple[str, ...], ...] = ()
+
+    def column_names(self) -> List[str]:
+        return [col.name for col in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return any(col.name == name for col in self.columns)
+
+
+class RowVersion:
+    """One immutable-ish version of a logical row.
+
+    ``data`` maps column name to value.  ``row_id`` is WARP's stable name
+    for the logical row (paper §4.1); all versions of the same logical row
+    share it.
+    """
+
+    __slots__ = ("row_id", "data", "start_ts", "end_ts", "start_gen", "end_gen")
+
+    def __init__(
+        self,
+        row_id: int,
+        data: Dict[str, object],
+        start_ts: int,
+        end_ts: int = INFINITY,
+        start_gen: int = 0,
+        end_gen: int = INFINITY,
+    ) -> None:
+        self.row_id = row_id
+        self.data = data
+        self.start_ts = start_ts
+        self.end_ts = end_ts
+        self.start_gen = start_gen
+        self.end_gen = end_gen
+
+    def visible(self, ts: int, gen: int) -> bool:
+        return (
+            self.start_ts <= ts < self.end_ts
+            and self.start_gen <= gen <= self.end_gen
+        )
+
+    def visible_in_gen(self, gen: int) -> bool:
+        return self.start_gen <= gen <= self.end_gen
+
+    def copy(self) -> "RowVersion":
+        return RowVersion(
+            self.row_id,
+            dict(self.data),
+            self.start_ts,
+            self.end_ts,
+            self.start_gen,
+            self.end_gen,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end_ts = "inf" if self.end_ts == INFINITY else self.end_ts
+        end_gen = "inf" if self.end_gen == INFINITY else self.end_gen
+        return (
+            f"RowVersion(row_id={self.row_id}, ts=[{self.start_ts},{end_ts}), "
+            f"gen=[{self.start_gen},{end_gen}], data={self.data})"
+        )
+
+
+class Table:
+    """All versions of all rows of one table, indexed by row ID."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.versions: Dict[int, List[RowVersion]] = {}
+        self._next_row_id = 1
+        #: Versions created/affected per timestamp are found by scanning;
+        #: the table keeps a count for storage accounting.
+        self.version_count = 0
+        #: Sorted row IDs (kept incrementally; scans yield row-ID order).
+        self._sorted_ids: List[int] = []
+        #: Equality index: column -> value -> row IDs that *ever* carried
+        #: that value.  Over-approximate by design — stale entries are
+        #: filtered by the visibility/WHERE checks — which keeps updates
+        #: O(1) and never compromises correctness.
+        indexed = set(schema.partition_columns)
+        for key in schema.unique_keys:
+            indexed.update(key)
+        if schema.row_id_column:
+            indexed.add(schema.row_id_column)
+        self._indexed_columns = indexed
+        self._value_index: Dict[str, Dict[object, set]] = {
+            column: {} for column in indexed
+        }
+
+    # -- row id management ---------------------------------------------------
+
+    def allocate_row_id(self, data: Dict[str, object]) -> int:
+        """Pick the row ID for a new logical row.
+
+        Uses the schema's designated row-ID column when its value is a
+        usable integer-like key; otherwise allocates a synthetic ID.
+        """
+        column = self.schema.row_id_column
+        if column is not None:
+            value = data.get(column)
+            if isinstance(value, int) and value > 0:
+                self._next_row_id = max(self._next_row_id, value + 1)
+                return value
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        return row_id
+
+    # -- version plumbing ------------------------------------------------------
+
+    def add_version(self, version: RowVersion) -> None:
+        chain = self.versions.get(version.row_id)
+        if chain is None:
+            self.versions[version.row_id] = [version]
+            bisect.insort(self._sorted_ids, version.row_id)
+        else:
+            chain.append(version)
+        self.version_count += 1
+        for column in self._indexed_columns:
+            value = version.data.get(column)
+            try:
+                self._value_index[column].setdefault(value, set()).add(version.row_id)
+            except TypeError:
+                pass  # unhashable value: simply not indexed
+
+    def remove_version(self, version: RowVersion) -> None:
+        chain = self.versions.get(version.row_id, [])
+        chain.remove(version)
+        self.version_count -= 1
+        if not chain:
+            del self.versions[version.row_id]
+            index = self._sorted_ids
+            pos = bisect.bisect_left(index, version.row_id)
+            if pos < len(index) and index[pos] == version.row_id:
+                index.pop(pos)
+
+    def candidate_row_ids(self, column: str, value) -> Optional[set]:
+        """Row IDs that may currently carry ``column == value`` (superset),
+        or None when the column is not indexed."""
+        if column not in self._indexed_columns:
+            return None
+        try:
+            return self._value_index[column].get(value, set())
+        except TypeError:
+            return None
+
+    def row_versions(self, row_id: int) -> List[RowVersion]:
+        return self.versions.get(row_id, [])
+
+    def all_versions(self) -> Iterator[RowVersion]:
+        for chain in self.versions.values():
+            yield from chain
+
+    def visible_rows(self, ts: int, gen: int) -> Iterator[RowVersion]:
+        """Iterate versions visible at ``(ts, gen)`` in row-ID order."""
+        for row_id in self._sorted_ids:
+            for version in self.versions[row_id]:
+                if version.visible(ts, gen):
+                    yield version
+                    break  # at most one version of a row is visible
+
+    def visible_version(self, row_id: int, ts: int, gen: int) -> Optional[RowVersion]:
+        for version in self.versions.get(row_id, []):
+            if version.visible(ts, gen):
+                return version
+        return None
+
+    # -- uniqueness ------------------------------------------------------------
+
+    def unique_conflict(
+        self,
+        data: Dict[str, object],
+        ts: int,
+        gen: int,
+        exclude_row_id: Optional[int] = None,
+    ) -> Optional[Tuple[str, ...]]:
+        """Return the violated unique key if inserting ``data`` at (ts, gen)
+        would collide with a visible row, else None."""
+        for key in self.schema.unique_keys:
+            candidate = tuple(data.get(col) for col in key)
+            if any(value is None for value in candidate):
+                continue
+            rows = self.candidate_row_ids(key[0], candidate[0])
+            if rows is not None:
+                versions = (
+                    self.visible_version(row_id, ts, gen) for row_id in rows
+                )
+            else:
+                versions = self.visible_rows(ts, gen)
+            for version in versions:
+                if version is None:
+                    continue
+                if exclude_row_id is not None and version.row_id == exclude_row_id:
+                    continue
+                existing = tuple(version.data.get(col) for col in key)
+                if existing == candidate:
+                    return key
+        return None
+
+    def gc(self, horizon_ts: int) -> int:
+        """Drop versions that ended before ``horizon_ts`` (paper §4.2).
+
+        Never drops a row's only remaining version.  Returns the number of
+        versions removed.
+        """
+        removed = 0
+        for row_id in list(self.versions):
+            chain = self.versions[row_id]
+            if len(chain) <= 1:
+                continue
+            keep = [v for v in chain if v.end_ts >= horizon_ts or v.end_ts == INFINITY]
+            if not keep:
+                keep = [max(chain, key=lambda v: v.end_ts)]
+            removed += len(chain) - len(keep)
+            self.version_count -= len(chain) - len(keep)
+            self.versions[row_id] = keep
+        return removed
+
+
+class Database:
+    """A named collection of tables."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise StorageError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise StorageError(f"no such table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise StorageError(f"no such table {name!r}")
+        del self.tables[name]
+
+    def total_versions(self) -> int:
+        return sum(table.version_count for table in self.tables.values())
+
+    def gc(self, horizon_ts: int) -> int:
+        return sum(table.gc(horizon_ts) for table in self.tables.values())

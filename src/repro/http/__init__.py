@@ -1,0 +1,5 @@
+"""HTTP substrate: messages, URL handling, and the logged web server."""
+
+from repro.http.message import HttpRequest, HttpResponse, parse_url
+
+__all__ = ["HttpRequest", "HttpResponse", "parse_url"]

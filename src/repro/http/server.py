@@ -1,0 +1,81 @@
+"""The logged web server (the paper's Apache + logging module).
+
+Routes requests to entry scripts, records every run into the action
+history graph, applies queued cookie invalidations (paper §5.3), surfaces
+pending conflicts to returning clients (paper §5.4), and — while a repair
+is underway — remembers which runs arrived concurrently so the repair
+controller can re-apply them to the next generation at finalize (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.ahg.graph import ActionHistoryGraph
+from repro.appserver.runtime import AppRuntime
+from repro.http.message import HttpRequest, HttpResponse
+
+
+class HttpServer:
+    """Dispatches requests to application scripts and logs the runs."""
+
+    def __init__(
+        self,
+        runtime: AppRuntime,
+        graph: ActionHistoryGraph,
+        origin: str = "http://wiki.test",
+    ) -> None:
+        self.runtime = runtime
+        self.graph = graph
+        self.origin = origin
+        self.routes: Dict[str, str] = {}
+        #: Clients whose cookies must be deleted on next contact.
+        self.cookie_invalidation: Set[str] = set()
+        #: Optional hook returning the number of pending conflicts for a client.
+        self.conflict_lookup: Optional[Callable[[str], int]] = None
+        #: Runs that executed while a repair was in progress.
+        self.repair_active = False
+        self.pending_during_repair: List[int] = []
+        self.suspended = False
+        #: Toggle for recording (the "No WARP" baseline disables it).
+        self.recording = True
+
+    def route(self, path: str, script_name: str) -> None:
+        self.routes[path] = script_name
+
+    def script_for(self, path: str) -> Optional[str]:
+        return self.routes.get(path)
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request during normal operation."""
+        if self.suspended:
+            return HttpResponse(status=503, body="server briefly suspended for repair")
+
+        client_id = request.client_id
+        invalidated = client_id is not None and client_id in self.cookie_invalidation
+        if invalidated:
+            # Delete the diverged cookie: the request proceeds without it.
+            request = request.copy()
+            stale = dict(request.cookies)
+            request.cookies.clear()
+            self.cookie_invalidation.discard(client_id)
+
+        script_name = self.script_for(request.path)
+        if script_name is None:
+            return HttpResponse(status=404, body=f"no route for {request.path}")
+
+        response, record = self.runtime.execute(script_name, request)
+
+        if invalidated:
+            for name in stale:
+                response.set_cookies.setdefault(name, None)
+        if self.conflict_lookup is not None and client_id is not None:
+            pending = self.conflict_lookup(client_id)
+            if pending:
+                response.headers["X-Warp-Conflicts"] = str(pending)
+
+        if self.recording:
+            self.graph.add_run(record)
+            if self.repair_active:
+                self.pending_during_repair.append(record.run_id)
+        return response

@@ -1,0 +1,19 @@
+"""The repair subsystem (paper §2–§5).
+
+``RepairController`` orchestrates rollback and selective re-execution over
+the action history graph; ``BrowserReplayer`` is the server-side browser
+re-execution manager; conflicts that cannot be auto-resolved are queued in
+``ConflictQueue`` for the affected user.
+"""
+
+from repro.repair.conflicts import Conflict, ConflictQueue
+from repro.repair.controller import RepairController, RepairResult
+from repro.repair.stats import RepairStats
+
+__all__ = [
+    "RepairController",
+    "RepairResult",
+    "RepairStats",
+    "Conflict",
+    "ConflictQueue",
+]

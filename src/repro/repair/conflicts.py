@@ -1,0 +1,67 @@
+"""Conflict queueing and resolution (paper §5.4).
+
+When browser replay cannot re-apply a user's original input — the target
+element is gone, the text merge overlaps the attacker's changes, or no
+browser log exists at all — WARP queues a conflict and proceeds, assuming
+the user's subsequent requests are unchanged.  When the user next logs in,
+the application redirects them to a resolution page; the only resolution
+our prototype offers (like the paper's) is *cancel the page visit*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+
+@dataclass
+class Conflict:
+    """One queued conflict for one user's page visit."""
+
+    client_id: str
+    visit_id: int
+    url: str
+    reason: str
+    #: Human-readable description of the event that failed to replay.
+    event_desc: str = ""
+    resolved: bool = False
+
+
+class ConflictQueue:
+    """All unresolved conflicts, indexed by client."""
+
+    def __init__(self) -> None:
+        self._conflicts: List[Conflict] = []
+
+    def add(self, conflict: Conflict) -> None:
+        # One conflict per (client, visit): replay stops at the first one.
+        for existing in self._conflicts:
+            if (
+                not existing.resolved
+                and existing.client_id == conflict.client_id
+                and existing.visit_id == conflict.visit_id
+            ):
+                return
+        self._conflicts.append(conflict)
+
+    def pending(self, client_id: Optional[str] = None) -> List[Conflict]:
+        return [
+            c
+            for c in self._conflicts
+            if not c.resolved and (client_id is None or c.client_id == client_id)
+        ]
+
+    def pending_count(self, client_id: str) -> int:
+        return len(self.pending(client_id))
+
+    def clients_with_conflicts(self) -> Set[str]:
+        return {c.client_id for c in self._conflicts if not c.resolved}
+
+    def resolve(self, conflict: Conflict) -> None:
+        conflict.resolved = True
+
+    def clear(self) -> None:
+        self._conflicts.clear()
+
+    def all(self) -> List[Conflict]:
+        return list(self._conflicts)

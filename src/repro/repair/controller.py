@@ -1,0 +1,679 @@
+"""The repair controller (paper §2.1, §3–§5, borrowed from Retro).
+
+Repair is a time-ordered worklist over three kinds of items:
+
+* **query records** — re-executed standalone at their original timestamps
+  in the repair generation; a result that differs from the recorded
+  snapshot escalates to the owning application run / page visit;
+* **application runs** — re-executed through the application runtime with
+  the recorded HTTP request and nondeterminism log (used when no browser
+  log exists, and for requests that arrived during repair);
+* **page visits** — replayed in a server-side browser clone, with request
+  matching, equivalence pruning, and cancellation of requests that the
+  repaired page no longer issues.
+
+All re-execution happens at original logical timestamps inside the repair
+generation, so the live generation keeps serving traffic untouched until
+``finalize`` atomically switches generations (§4.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.ahg.graph import ActionHistoryGraph
+from repro.ahg.records import (
+    AppRunRecord,
+    EventRecord,
+    PatchRecord,
+    QueryRecord,
+    VisitRecord,
+)
+from repro.appserver.nondet import NondetReplayer
+from repro.appserver.runtime import AppRuntime
+from repro.appserver.scripts import ScriptStore
+from repro.browser.browser import Network
+from repro.core.clock import LogicalClock
+from repro.core.errors import RepairError
+from repro.core.ids import IdAllocator
+from repro.db.sql import ast
+from repro.db.sql.parser import parse
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.server import HttpServer
+from repro.repair.conflicts import Conflict, ConflictQueue
+from repro.repair.replay import BrowserReplayer, ReplayConfig
+from repro.repair.stats import RepairStats
+from repro.ttdb.partitions import ModifiedPartitions
+from repro.ttdb.timetravel import TimeTravelDB, TTResult, split_statements
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one repair."""
+
+    ok: bool
+    aborted: bool
+    stats: RepairStats
+    conflicts: List[Conflict]
+
+
+class RepairQueryRunner:
+    """Query runner used when re-executing an application run.
+
+    Matches issued statements to the original run's query log (same SQL
+    text, in order); matched statements re-execute at their original
+    timestamps, unmatched ones at the current cursor.  Original write
+    queries that are never re-issued are undone afterwards.
+    """
+
+    def __init__(self, controller: "RepairController", original: AppRunRecord) -> None:
+        self._controller = controller
+        self._orig = original.queries
+        self._matched = [False] * len(self._orig)
+        self._cursor = 0
+        self._ts_cursor = original.ts_start
+
+    def run(self, sql: str, params: Tuple[object, ...], seq: int) -> TTResult:
+        index = self._find(sql)
+        if index is not None:
+            self._matched[index] = True
+            self._cursor = index + 1
+            original: Optional[QueryRecord] = self._orig[index]
+            ts = original.ts
+            self._ts_cursor = ts
+        else:
+            original = None
+            ts = self._ts_cursor
+        return self._controller.reexec_statement(sql, params, ts, original)
+
+    def run_script(self, sql: str) -> List[TTResult]:
+        return [self.run(piece, (), -1) for piece in split_statements(sql)]
+
+    def _find(self, sql: str) -> Optional[int]:
+        for index in range(self._cursor, len(self._orig)):
+            if not self._matched[index] and self._orig[index].sql == sql:
+                return index
+        for index in range(0, self._cursor):
+            if not self._matched[index] and self._orig[index].sql == sql:
+                return index
+        return None
+
+    def undo_unmatched(self) -> None:
+        for index, query in enumerate(self._orig):
+            if not self._matched[index] and query.is_write:
+                self._controller.undo_query(query)
+
+
+class RepairController:
+    """Coordinates one repair from initiation to finalize."""
+
+    def __init__(
+        self,
+        ttdb: TimeTravelDB,
+        graph: ActionHistoryGraph,
+        scripts: ScriptStore,
+        runtime: AppRuntime,
+        server: HttpServer,
+        network: Network,
+        conflicts: ConflictQueue,
+        clock: LogicalClock,
+        ids: IdAllocator,
+        replay_config: Optional[ReplayConfig] = None,
+    ) -> None:
+        self.ttdb = ttdb
+        self.graph = graph
+        self.scripts = scripts
+        self.runtime = runtime
+        self.server = server
+        self.network = network
+        self.conflicts = conflicts
+        self.clock = clock
+        self.ids = ids
+        self.replayer = BrowserReplayer(self, replay_config)
+
+        self.mods = ModifiedPartitions()
+        self.stats = RepairStats()
+        self._heap: List[Tuple[int, int, str, object]] = []
+        self._heap_seq = 0
+        self._run_state: Dict[int, str] = {}
+        self._visit_state: Dict[Tuple[str, int], str] = {}
+        self._scheduled_qids: Set[int] = set()
+        self._replacements: Dict[int, AppRunRecord] = {}
+        self._new_runs: List[AppRunRecord] = []
+        #: Clients whose replay hit a conflict: their subsequent browser
+        #: activity is assumed unchanged (paper §5.4).
+        self._conflicted_clients: Set[str] = set()
+        self._counted_visits: Set[Tuple[str, int]] = set()
+        self._active = False
+        #: Ablation switches (see DESIGN.md / benchmarks/bench_ablations.py).
+        #: §3.3 calls nondeterminism replay "strictly an optimization";
+        #: pruning is the §5.3 identical-request short-circuit.
+        self.use_nondet_replay = True
+        self.use_pruning = True
+        #: Optional hook invoked after each worklist item (used by the
+        #: concurrent-repair benchmark to interleave live traffic).
+        self.step_hook: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------ entry points
+
+    def retroactive_patch(
+        self, file: str, exports: Dict, apply_ts: int = 0
+    ) -> RepairResult:
+        """Apply a security patch to the past (paper §3.2)."""
+        started = _time.perf_counter()
+        graph_before = self.graph.graph_load_seconds
+        self._begin()
+        self.stats.timer.push("init")
+        new_version = self.scripts.patch(file, exports)
+        self.graph.add_patch(
+            PatchRecord(file=file, new_version=new_version, apply_ts=apply_ts)
+        )
+        for run in self.graph.runs_loading_file(file, apply_ts):
+            self._escalate(run.run_id)
+        self.stats.timer.pop()
+        self._process()
+        self._finalize()
+        return self._result(started, graph_before, aborted=False)
+
+    def cancel_visit(
+        self,
+        client_id: str,
+        visit_id: int,
+        initiated_by_admin: bool = True,
+        allow_conflicts: bool = False,
+    ) -> RepairResult:
+        """Undo a past page visit (paper §5.5).
+
+        A regular user's undo aborts if it would create conflicts for
+        *other* users, unless it resolves a conflict already reported to
+        this user (``allow_conflicts``).
+        """
+        started = _time.perf_counter()
+        graph_before = self.graph.graph_load_seconds
+        self._begin()
+        self.stats.timer.push("init")
+        for target_id in self._visit_and_descendants(client_id, visit_id):
+            for run in self.graph.runs_of_visit(client_id, target_id):
+                self.cancel_run(run)
+            self._visit_state[(client_id, target_id)] = "canceled"
+        self.stats.timer.pop()
+        self._process()
+
+        if not initiated_by_admin and not allow_conflicts:
+            others = {
+                c.client_id for c in self.conflicts.pending() if c.client_id != client_id
+            }
+            if others:
+                self._abort()
+                return self._result(started, graph_before, aborted=True)
+        self._finalize()
+        return self._result(started, graph_before, aborted=False)
+
+    def _visit_and_descendants(self, client_id: str, visit_id: int) -> List[int]:
+        """Canceling a page visit undoes all of its HTTP requests — which
+        includes the navigations (form posts, link follows) its events
+        caused, i.e. its descendant visits."""
+        out = [visit_id]
+        frontier = {visit_id}
+        while frontier:
+            next_frontier = set()
+            for record in self.graph.client_visits(client_id):
+                if record.parent_visit in frontier and record.visit_id not in out:
+                    out.append(record.visit_id)
+                    next_frontier.add(record.visit_id)
+            frontier = next_frontier
+        return out
+
+    def cancel_client(self, client_id: str) -> RepairResult:
+        """Undo *every* action of one client (paper §2: when credentials
+        were stolen, administrators can revert just the attacker's actions
+        if they can identify the attacker's browser/IP)."""
+        import time as _time
+
+        started = _time.perf_counter()
+        graph_before = self.graph.graph_load_seconds
+        self._begin()
+        self.stats.timer.push("init")
+        for run in self.graph.runs_in_order():
+            if run.client_id == client_id:
+                self.cancel_run(run)
+        for visit in self.graph.client_visits(client_id):
+            self._visit_state[(client_id, visit.visit_id)] = "canceled"
+        self.stats.timer.pop()
+        self._process()
+        self._finalize()
+        return self._result(started, graph_before, aborted=False)
+
+    def retroactive_db_fix(
+        self, sql: str, params: Tuple[object, ...], ts: int
+    ) -> RepairResult:
+        """Retroactively fix past database state (paper §2: e.g. change the
+        password of a user whose credentials leaked, *as of* the leak time,
+        at the risk of undoing legitimate changes made with it)."""
+        import time as _time
+
+        started = _time.perf_counter()
+        graph_before = self.graph.graph_load_seconds
+        self._begin()
+        self.stats.timer.push("init")
+        self.reexec_statement(sql, params, ts, original=None)
+        self.stats.timer.pop()
+        self._process()
+        self._finalize()
+        return self._result(started, graph_before, aborted=False)
+
+    def _result(self, started: float, graph_before: float, aborted: bool) -> RepairResult:
+        self.stats.total_seconds = _time.perf_counter() - started
+        self.stats.graph_seconds = self.graph.graph_load_seconds - graph_before
+        self.stats.total_visits = self.graph.n_visits
+        self.stats.total_runs = self.graph.n_runs
+        self.stats.total_queries = self.graph.n_queries
+        self.stats.conflicts = len(self.conflicts.pending())
+        return RepairResult(
+            ok=not aborted,
+            aborted=aborted,
+            stats=self.stats,
+            conflicts=self.conflicts.pending(),
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def _begin(self) -> None:
+        if self._active:
+            raise RepairError("repair already in progress")
+        self.ttdb.begin_repair()
+        self.server.repair_active = True
+        self.server.pending_during_repair = []
+        self._active = True
+
+    def _process(self) -> None:
+        while self._heap:
+            ts, _, kind, payload = heapq.heappop(self._heap)
+            if kind == "query":
+                self._process_query(payload)  # type: ignore[arg-type]
+            elif kind == "run":
+                self._process_run(payload)  # type: ignore[arg-type]
+            elif kind == "visit":
+                self._process_visit(payload)  # type: ignore[arg-type]
+            if self.step_hook is not None:
+                self.step_hook()
+
+    def _finalize(self) -> None:
+        # Re-apply requests that arrived while repair was running (§4.3).
+        for run_id in list(self.server.pending_during_repair):
+            run = self.graph.runs.get(run_id)
+            if run is None:
+                continue
+            if self._run_state.get(run_id) in ("done", "canceled"):
+                continue
+            if self._inputs_changed(run):
+                self._reexec_run(run, run.request, conflict_on_change=False)
+        # Briefly suspend, switch generations, resume.
+        self.server.suspended = True
+        self.ttdb.finalize_repair()
+        self._merge_replacements()
+        self.server.suspended = False
+        self.server.repair_active = False
+        for client_id in self.replayer.diverged_clients:
+            self.server.cookie_invalidation.add(client_id)
+        self._active = False
+
+    def _abort(self) -> None:
+        self.ttdb.abort_repair()
+        for conflict in self.conflicts.pending():
+            self.conflicts.resolve(conflict)
+        self.server.repair_active = False
+        self._active = False
+
+    def _merge_replacements(self) -> None:
+        """Fold re-executed runs back into the action history graph so the
+        graph describes the repaired timeline (enables follow-up repairs)."""
+        for old_id, new_record in self._replacements.items():
+            old = self.graph.runs.get(old_id)
+            if old is None:
+                continue
+            new_record.run_id = old_id
+            for query in new_record.queries:
+                query.run_id = old_id
+            new_record.client_id = old.client_id
+            new_record.visit_id = old.visit_id
+            new_record.request_id = old.request_id
+            new_record.ts_start = old.ts_start
+            new_record.ts_end = max(old.ts_end, new_record.ts_end)
+            self.graph.runs[old_id] = new_record
+            order = self.graph._runs_in_order
+            for index, run in enumerate(order):
+                if run.run_id == old_id:
+                    order[index] = new_record
+                    break
+        for run in self._new_runs:
+            self.graph.add_run(run)
+        if self._replacements:
+            self.graph._qindex_built.clear()
+            self.graph._qindex_keys.clear()
+            self.graph._qindex_all.clear()
+            self.graph._qindex_table.clear()
+
+    # ------------------------------------------------------------------ scheduling
+
+    def _schedule(self, ts: int, kind: str, payload) -> None:
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (ts, self._heap_seq, kind, payload))
+
+    def _escalate(self, run_id: int) -> None:
+        """A run's inputs (or outputs) changed: queue it for re-execution,
+        at the browser level when a client-side log exists."""
+        run = self.graph.runs.get(run_id)
+        if run is None or self._run_state.get(run_id) in ("queued", "done", "canceled"):
+            return
+        visit = self.graph.visit_of_run(run)
+        if run.client_id in self._conflicted_clients:
+            # §5.4: after a conflict, this browser is no longer replayed —
+            # its requests are assumed unchanged, so affected runs
+            # re-execute server-side with the recorded request.
+            self._run_state[run_id] = "queued"
+            self._schedule(run.ts_start, "run", run)
+            return
+        if self.replayer.can_replay(visit):
+            # Replay must start at the visit whose *events* generated this
+            # request: a form POST's parameters come from replaying the
+            # parent form page's DOM events (that is how merged text and
+            # fresh CSRF tokens flow into the re-executed request).
+            for candidate in self._replay_chain(visit):
+                key = (candidate.client_id, candidate.visit_id)
+                state = self._visit_state.get(key)
+                if state == "queued":
+                    return
+                if state is None:
+                    self._visit_state[key] = "queued"
+                    self._schedule(candidate.ts, "visit", candidate)
+                    return
+            # Entire chain already replayed: fall through to the run level.
+        self._run_state[run_id] = "queued"
+        self._schedule(run.ts_start, "run", run)
+
+    def _replay_chain(self, visit: VisitRecord) -> List[VisitRecord]:
+        """Ancestors of ``visit`` whose events drive its navigation, topmost
+        first, ending with ``visit`` itself."""
+        chain = [visit]
+        current = visit
+        while current.parent_visit is not None:
+            parent = self.graph.visits.get((visit.client_id, current.parent_visit))
+            if parent is None or not parent.events:
+                break
+            chain.append(parent)
+            current = parent
+        chain.reverse()
+        return chain
+
+    def note_visit_replayed(self, client_id: str, visit_id: int) -> None:
+        """Called by the replay session when a visit gets mapped into a
+        clone: its standalone queue entry (if any) must become a no-op."""
+        self._visit_state[(client_id, visit_id)] = "done"
+        key = (client_id, visit_id)
+        if key not in self._counted_visits:
+            self._counted_visits.add(key)
+            self.stats.visits_reexecuted += 1
+
+    # ------------------------------------------------------------------ worklist items
+
+    def _process_query(self, query: QueryRecord) -> None:
+        run_state = self._run_state.get(query.run_id)
+        if run_state in ("queued", "done", "canceled"):
+            return
+        run = self.graph.runs.get(query.run_id)
+        if run is None or run.canceled:
+            return
+        visit_key = (run.client_id, run.visit_id)
+        if run.client_id is not None and self._visit_state.get(visit_key) in (
+            "queued",
+            "done",
+            "conflict",
+            "canceled",
+        ):
+            return
+        affected = self.mods.affects(query.read_set, query.ts) or (
+            query.is_write
+            and self.mods.affects_keys(query.table, query.written_partitions, query.ts)
+        )
+        if not affected:
+            return
+        self.stats.timer.push("db")
+        result = self.reexec_statement(query.sql, query.params, query.ts, query)
+        self.stats.timer.pop()
+        if result.result.snapshot() != query.snapshot:
+            self._escalate(query.run_id)
+
+    def _process_run(self, run: AppRunRecord) -> None:
+        if self._run_state.get(run.run_id) in ("done", "canceled"):
+            return
+        already_conflicted = run.client_id in self._conflicted_clients
+        self._reexec_run(run, run.request, conflict_on_change=not already_conflicted)
+
+    def _process_visit(self, visit: VisitRecord) -> None:
+        key = (visit.client_id, visit.visit_id)
+        if self._visit_state.get(key) == "done":
+            return
+        if visit.client_id in self._conflicted_clients:
+            return
+        self._visit_state[key] = "done"
+        self.stats.timer.push("firefox")
+        self.replayer.replay_visit(visit)
+        self.stats.timer.pop()
+
+    # ------------------------------------------------------------------ query re-execution
+
+    def reexec_statement(
+        self,
+        sql: str,
+        params: Tuple[object, ...],
+        ts: int,
+        original: Optional[QueryRecord],
+    ) -> TTResult:
+        """Re-execute one statement at historical time ``ts``.
+
+        Writes use two-phase re-execution (§4.2): find the rows the new
+        WHERE clause matches, roll back original ∪ new rows to just before
+        ``ts``, then execute.
+        """
+        self.stats.queries_reexecuted += 1
+        stmt = parse(sql)
+        if not ast.is_write(stmt):
+            return self.ttdb.execute_at(sql, params, ts)
+
+        table = stmt.table  # type: ignore[attr-defined]
+        targets: Set[Tuple[str, int]] = set()
+        forced: Tuple[int, ...] = ()
+        if original is not None:
+            targets |= set(original.written_row_ids)
+            if original.kind == "insert":
+                forced = tuple(rid for _, rid in original.written_row_ids)
+        if isinstance(stmt, (ast.Update, ast.Delete)):
+            for row_id in self.ttdb.matching_row_ids(sql, params, max(ts - 1, 0)):
+                targets.add((table, row_id))
+        touched = set()
+        for target_table, row_id in targets:
+            touched |= self.ttdb.rollback_row(target_table, row_id, ts)
+        result = self.ttdb.execute_at(sql, params, ts, forced_row_ids=forced)
+        keys = touched | set(result.result.written_partitions)
+        if original is not None:
+            keys |= set(original.written_partitions)
+        self._note_modification(table, keys, ts, whole_table=result.full_table_write)
+        return result
+
+    def undo_query(self, query: QueryRecord) -> None:
+        """Roll back one original write that the repaired run never issued."""
+        touched = set()
+        for table, row_id in query.written_row_ids:
+            touched |= self.ttdb.rollback_row(table, row_id, query.ts)
+        touched |= set(query.written_partitions)
+        self._note_modification(query.table, touched, query.ts, query.full_table_write)
+
+    def cancel_run(self, run: AppRunRecord) -> None:
+        """Undo every write of a canceled request (paper §5.4, §5.5)."""
+        if self._run_state.get(run.run_id) == "canceled":
+            return
+        self._run_state[run.run_id] = "canceled"
+        run.canceled = True
+        self.stats.runs_canceled += 1
+        for query in run.queries:
+            if query.is_write:
+                self.undo_query(query)
+
+    def _note_modification(
+        self, table: str, keys, ts: int, whole_table: bool = False
+    ) -> None:
+        if whole_table:
+            self.mods.record_all(table, ts)
+        if keys:
+            self.mods.record(table, keys, ts)
+        if not keys and not whole_table:
+            return
+        self._propagate(table, keys, ts, whole_table)
+
+    def _propagate(self, table: str, keys, ts: int, whole_table: bool) -> None:
+        candidates = self.graph.queries_touching(table, keys, ts, whole_table)
+        for query in candidates:
+            if query.qid in self._scheduled_qids:
+                continue
+            self._scheduled_qids.add(query.qid)
+            self._schedule(query.ts, "query", query)
+
+    # ------------------------------------------------------------------ run re-execution
+
+    def _reexec_run(
+        self,
+        run: AppRunRecord,
+        request: HttpRequest,
+        conflict_on_change: bool,
+    ) -> HttpResponse:
+        self.stats.timer.push("app")
+        self._run_state[run.run_id] = "done"
+        script_name = self.server.script_for(request.path)
+        if script_name is None:
+            self.stats.timer.pop()
+            return HttpResponse(status=404, body=f"no route for {request.path}")
+        if self.use_nondet_replay:
+            nondet = NondetReplayer(run.nondet, self.runtime.nondet_source)
+        else:
+            nondet = NondetReplayer([], self.runtime.nondet_source)
+        runner = RepairQueryRunner(self, run)
+        response, record = self.runtime.execute(
+            script_name,
+            request,
+            query_runner=runner,
+            nondet=nondet,
+            ts_start=run.ts_start,
+        )
+        runner.undo_unmatched()
+        self.stats.runs_reexecuted += 1
+        self.stats.nondet_misses += nondet.misses
+        self._replacements[run.run_id] = record
+        self.stats.timer.pop()
+
+        if response.key() != run.response.key() and conflict_on_change:
+            # The browser that received this response cannot be replayed
+            # (no client-side log): inform the user via a queued conflict.
+            if run.client_id is not None:
+                self.report_conflict_for_run(
+                    run, "response changed but no browser log is available"
+                )
+        return response
+
+    def _exec_new_run(self, request: HttpRequest, ts: int) -> HttpResponse:
+        """Execute a request the original timeline never saw (a replayed
+        page navigated somewhere new)."""
+        script_name = self.server.script_for(request.path)
+        if script_name is None:
+            return HttpResponse(status=404, body=f"no route for {request.path}")
+        self.stats.timer.push("app")
+        empty = AppRunRecord(
+            run_id=0,
+            ts_start=ts,
+            ts_end=ts,
+            script=script_name,
+            loaded_files={},
+            request=request,
+            response=HttpResponse(),
+        )
+        runner = RepairQueryRunner(self, empty)
+        response, record = self.runtime.execute(
+            script_name, request, query_runner=runner, ts_start=ts
+        )
+        self.stats.runs_reexecuted += 1
+        self._new_runs.append(record)
+        self.stats.timer.pop()
+        return response
+
+    # ------------------------------------------------------------------ replay transport
+
+    def handle_replay_request(
+        self, session, origin: str, request: HttpRequest
+    ) -> HttpResponse:
+        """Requests issued by the server-side re-execution browser."""
+        if origin != self.server.origin:
+            # Third-party origins (the attacker's site) are fetched live.
+            return self.network.request(origin, request)
+        clone_visit_id = request.visit_id or 0
+        run, ts = session.match_request(clone_visit_id, request)
+        if run is None:
+            return self._exec_new_run(request, ts)
+        state = self._run_state.get(run.run_id)
+        if state == "done":
+            replacement = self._replacements.get(run.run_id)
+            return replacement.response if replacement else run.response
+        if state == "canceled":
+            return HttpResponse(status=410, body="request was canceled by repair")
+        if (
+            self.use_pruning
+            and request.key() == run.request.key()
+            and not self._inputs_changed(run)
+        ):
+            # Prune: identical request with unchanged inputs (§5.3).
+            self._run_state[run.run_id] = "done"
+            self.stats.runs_pruned += 1
+            return run.response
+        return self._reexec_run(run, request, conflict_on_change=False)
+
+    def _inputs_changed(self, run: AppRunRecord) -> bool:
+        for file, version in run.loaded_files.items():
+            if self.scripts.version(file) != version:
+                return True
+        for query in run.queries:
+            if self.mods.affects(query.read_set, query.ts):
+                return True
+            if query.is_write and self.mods.affects_keys(
+                query.table, query.written_partitions, query.ts
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ conflicts
+
+    def report_conflict(self, visit: VisitRecord, event: EventRecord, reason: str) -> None:
+        self.conflicts.add(
+            Conflict(
+                client_id=visit.client_id,
+                visit_id=visit.visit_id,
+                url=visit.url,
+                reason=reason,
+                event_desc=f"{event.etype} on {event.xpath}",
+            )
+        )
+        self._visit_state[(visit.client_id, visit.visit_id)] = "conflict"
+        self._conflicted_clients.add(visit.client_id)
+
+    def report_conflict_for_run(self, run: AppRunRecord, reason: str) -> None:
+        self.conflicts.add(
+            Conflict(
+                client_id=run.client_id or "?",
+                visit_id=run.visit_id or 0,
+                url=run.request.path,
+                reason=reason,
+            )
+        )
+        if run.client_id is not None:
+            self._conflicted_clients.add(run.client_id)

@@ -1,0 +1,80 @@
+"""Repair statistics: re-execution counts and phase timing.
+
+Mirrors the columns of the paper's Tables 7 and 8: how many page visits,
+application runs and SQL queries were re-executed (out of the totals in
+the workload), and where wall-clock time went — repair initialization,
+action-history-graph loading, browser ("Firefox") re-execution, standalone
+database query re-execution, application re-execution, and controller
+overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class PhaseTimer:
+    """Nested wall-clock accounting: inner phases don't double-count."""
+
+    def __init__(self) -> None:
+        self.buckets: Dict[str, float] = {}
+        self._stack: List[List] = []  # [name, started_at, child_time]
+
+    def push(self, name: str) -> None:
+        self._stack.append([name, time.perf_counter(), 0.0])
+
+    def pop(self) -> None:
+        name, started, child_time = self._stack.pop()
+        elapsed = time.perf_counter() - started
+        self.buckets[name] = self.buckets.get(name, 0.0) + (elapsed - child_time)
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    def get(self, name: str) -> float:
+        return self.buckets.get(name, 0.0)
+
+
+@dataclass
+class RepairStats:
+    """Everything a Table 7/8 row needs."""
+
+    visits_reexecuted: int = 0
+    runs_reexecuted: int = 0
+    runs_pruned: int = 0
+    runs_canceled: int = 0
+    queries_reexecuted: int = 0
+    nondet_misses: int = 0
+    conflicts: int = 0
+    total_visits: int = 0
+    total_runs: int = 0
+    total_queries: int = 0
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+    total_seconds: float = 0.0
+    graph_seconds: float = 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Named time buckets in the paper's Table 7 layout."""
+        known = {
+            "init": self.timer.get("init"),
+            "graph": self.graph_seconds,
+            "firefox": self.timer.get("firefox"),
+            "db": self.timer.get("db"),
+            "app": self.timer.get("app"),
+        }
+        accounted = sum(known.values())
+        known["ctrl"] = max(0.0, self.total_seconds - accounted)
+        known["total"] = self.total_seconds
+        return known
+
+    def row(self) -> Dict[str, object]:
+        """One bench-report row."""
+        out: Dict[str, object] = {
+            "visits": f"{self.visits_reexecuted} / {self.total_visits}",
+            "runs": f"{self.runs_reexecuted} / {self.total_runs}",
+            "queries": f"{self.queries_reexecuted} / {self.total_queries}",
+            "conflicts": self.conflicts,
+        }
+        out.update({k: round(v, 4) for k, v in self.breakdown().items()})
+        return out

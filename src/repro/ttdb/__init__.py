@@ -1,0 +1,18 @@
+"""WARP's time-travel database (paper §4).
+
+Layers continuous versioning, repair generations, partition-based
+dependency analysis and row-level rollback over the raw SQL engine in
+:mod:`repro.db`.
+"""
+
+from repro.ttdb.partitions import ReadSet, read_partitions
+from repro.ttdb.rollback import rollback_row
+from repro.ttdb.timetravel import TimeTravelDB, TTResult
+
+__all__ = [
+    "TimeTravelDB",
+    "TTResult",
+    "ReadSet",
+    "read_partitions",
+    "rollback_row",
+]

@@ -1,0 +1,269 @@
+"""Partition dependency analysis (paper §4.1).
+
+WARP logically splits each table into partitions keyed by the values of
+designated partition columns.  A query's WHERE clause is inspected to
+determine which partitions it can possibly read; if the clause cannot be
+analysed the query conservatively reads *all* partitions.
+
+A :class:`ReadSet` is either ``ALL`` (whole table) or a disjunction of
+conjunctions over ``(column, value)`` pairs.  For example, with partition
+columns ``(title, editor)``::
+
+    WHERE title = 'Home'                  -> [{title: Home}]
+    WHERE title = ? AND editor = ?        -> [{title: p0, editor: p1}]
+    WHERE title IN ('A', 'B')             -> [{title: A}, {title: B}]
+    WHERE length(body) > 3                -> ALL
+
+Soundness argument for the overlap test: a modified-row set is summarised
+by the flat set M of partition keys its rows belong to.  If a query
+disjunct D (a conjunction) matches some modified row r, then every
+``(col, val)`` in D restricted to partition columns is one of r's keys,
+hence a subset of M.  Requiring ``D ⊆ M`` is therefore a sound (and quite
+precise) necessary condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.db.sql import ast
+from repro.db.storage import TableSchema
+
+#: Upper bound on disjunct fan-out before falling back to ALL.
+_MAX_DISJUNCTS = 64
+
+Constraint = Tuple[str, object]  # (column, value)
+
+
+@dataclass(frozen=True)
+class ReadSet:
+    """The partitions of one table a query may read."""
+
+    table: str
+    #: ``None`` means ALL partitions; otherwise a list of conjunctions.
+    disjuncts: Optional[Tuple[FrozenSet[Constraint], ...]]
+
+    @property
+    def is_all(self) -> bool:
+        return self.disjuncts is None
+
+    def keys(self) -> FrozenSet[Constraint]:
+        """Flat union of all constrained keys (empty when ALL)."""
+        if self.disjuncts is None:
+            return frozenset()
+        out = set()
+        for disjunct in self.disjuncts:
+            out |= disjunct
+        return frozenset(out)
+
+
+def read_partitions(
+    stmt: ast.Statement,
+    params: Sequence[object],
+    schema: TableSchema,
+) -> ReadSet:
+    """Compute the :class:`ReadSet` for ``stmt`` against ``schema``.
+
+    SELECT/UPDATE/DELETE read the partitions their WHERE clause selects;
+    INSERT reads nothing (its written partitions come from the actual rows,
+    but uniqueness checks make it *read* its own keys — modelled by the
+    caller via written partitions).
+    """
+    if isinstance(stmt, ast.Insert):
+        return ReadSet(stmt.table, disjuncts=())
+    where = stmt.where  # type: ignore[union-attr]
+    if where is None:
+        return ReadSet(stmt.table, disjuncts=None)
+    partition_cols = set(schema.partition_columns)
+    if not partition_cols:
+        return ReadSet(stmt.table, disjuncts=None)
+    disjuncts = _analyze(where, params, partition_cols)
+    if disjuncts is None:
+        return ReadSet(stmt.table, disjuncts=None)
+    # An unconstrained disjunct means the query can read any partition.
+    for disjunct in disjuncts:
+        if not disjunct:
+            return ReadSet(stmt.table, disjuncts=None)
+    return ReadSet(stmt.table, disjuncts=tuple(frozenset(d.items()) for d in disjuncts))
+
+
+def _analyze(
+    expr: ast.Expr,
+    params: Sequence[object],
+    partition_cols: set,
+) -> Optional[List[Dict[str, object]]]:
+    """Return the disjunct list for ``expr``; None signals "give up" (ALL).
+
+    Every returned disjunct is a dict of equality constraints on partition
+    columns; ``{}`` means "this branch is unconstrained".
+    """
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "AND":
+            left = _analyze(expr.left, params, partition_cols)
+            right = _analyze(expr.right, params, partition_cols)
+            if left is None and right is None:
+                return None
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return _cross(left, right)
+        if expr.op == "OR":
+            left = _analyze(expr.left, params, partition_cols)
+            right = _analyze(expr.right, params, partition_cols)
+            if left is None or right is None:
+                return None
+            merged = left + right
+            if len(merged) > _MAX_DISJUNCTS:
+                return None
+            return merged
+        if expr.op == "=":
+            constraint = _equality_constraint(expr, params, partition_cols)
+            if constraint is not None:
+                return [dict([constraint])]
+            return [{}]
+        # Other comparisons don't pin a partition but don't widen either.
+        return [{}]
+    if isinstance(expr, ast.InList) and not expr.negated:
+        column = _partition_column(expr.needle, partition_cols)
+        if column is not None:
+            disjuncts = []
+            for item in expr.items:
+                value = _const_value(item, params)
+                if value is _NOT_CONST:
+                    return [{}]
+                disjuncts.append({column: value})
+            if len(disjuncts) > _MAX_DISJUNCTS:
+                return None
+            return disjuncts
+        return [{}]
+    # LIKE, BETWEEN, IS NULL, NOT, functions...: no partition information.
+    return [{}]
+
+
+def _cross(
+    left: List[Dict[str, object]], right: List[Dict[str, object]]
+) -> Optional[List[Dict[str, object]]]:
+    out: List[Dict[str, object]] = []
+    for a in left:
+        for b in right:
+            merged = dict(a)
+            compatible = True
+            for col, val in b.items():
+                if col in merged and merged[col] != val:
+                    compatible = False  # contradictory conjunction: drop it
+                    break
+                merged[col] = val
+            if compatible:
+                out.append(merged)
+            if len(out) > _MAX_DISJUNCTS:
+                return None
+    return out
+
+
+_NOT_CONST = object()
+
+
+def _const_value(expr: ast.Expr, params: Sequence[object]):
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        if expr.index < len(params):
+            return params[expr.index]
+    return _NOT_CONST
+
+
+def _partition_column(expr: ast.Expr, partition_cols: set) -> Optional[str]:
+    if isinstance(expr, ast.ColumnRef) and expr.name in partition_cols:
+        return expr.name
+    return None
+
+
+def _equality_constraint(
+    expr: ast.BinaryOp, params: Sequence[object], partition_cols: set
+) -> Optional[Constraint]:
+    column = _partition_column(expr.left, partition_cols)
+    value = _const_value(expr.right, params)
+    if column is not None and value is not _NOT_CONST:
+        return (column, value)
+    column = _partition_column(expr.right, partition_cols)
+    value = _const_value(expr.left, params)
+    if column is not None and value is not _NOT_CONST:
+        return (column, value)
+    return None
+
+
+class ModifiedPartitions:
+    """Tracks which partitions repair has touched, and since when.
+
+    ``record(table, keys, ts)`` notes that rows belonging to partition
+    ``keys`` changed at logical time ``ts``; ``record_all(table, ts)`` marks
+    the whole table.  ``affects(read_set, ts)`` answers: could a query with
+    this read set, executed at this time, observe any repaired data?
+    """
+
+    def __init__(self) -> None:
+        self._keys: Dict[Tuple[str, str, object], int] = {}
+        self._tables_all: Dict[str, int] = {}
+        self._tables_any: Dict[str, int] = {}
+
+    def record(self, table: str, keys, ts: int) -> None:
+        for key in keys:
+            full = key if len(key) == 3 else (table,) + tuple(key)
+            prior = self._keys.get(full)
+            if prior is None or ts < prior:
+                self._keys[full] = ts
+        if keys:
+            prior = self._tables_any.get(table)
+            if prior is None or ts < prior:
+                self._tables_any[table] = ts
+
+    def record_all(self, table: str, ts: int) -> None:
+        prior = self._tables_all.get(table)
+        if prior is None or ts < prior:
+            self._tables_all[table] = ts
+        prior = self._tables_any.get(table)
+        if prior is None or ts < prior:
+            self._tables_any[table] = ts
+
+    def affects(self, read_set: ReadSet, ts: int) -> bool:
+        table = read_set.table
+        all_ts = self._tables_all.get(table)
+        if all_ts is not None and all_ts <= ts:
+            return True
+        if read_set.is_all:
+            any_ts = self._tables_any.get(table)
+            return any_ts is not None and any_ts <= ts
+        for disjunct in read_set.disjuncts or ():
+            if not disjunct:
+                any_ts = self._tables_any.get(table)
+                if any_ts is not None and any_ts <= ts:
+                    return True
+                continue
+            if all(
+                self._keys.get((table, col, val)) is not None
+                and self._keys[(table, col, val)] <= ts
+                for col, val in disjunct
+            ):
+                return True
+        return False
+
+    def affects_keys(self, table: str, keys, ts: int) -> bool:
+        """True if any of the concrete partition ``keys`` was modified at or
+        before ``ts`` (used for write-write dependencies)."""
+        all_ts = self._tables_all.get(table)
+        if all_ts is not None and all_ts <= ts:
+            return True
+        for key in keys:
+            full = key if len(key) == 3 else (table,) + tuple(key)
+            mod_ts = self._keys.get(full)
+            if mod_ts is not None and mod_ts <= ts:
+                return True
+        return False
+
+    def is_empty(self) -> bool:
+        return not self._keys and not self._tables_all
+
+    def snapshot_keys(self):
+        return dict(self._keys)

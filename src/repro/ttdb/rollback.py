@@ -1,0 +1,89 @@
+"""Row-level rollback inside a repair generation (paper §4.2).
+
+Rolling back row R to time T means: in the repair (next) generation, R's
+history after T never happened.  Versions that started at or after T are
+excluded from the next generation; the version valid just before T is
+re-extended to ``∞``.  The current generation's view must stay untouched
+(§4.3), so versions shared with the live generation are never mutated in a
+way the live generation can observe — they are either re-homed with a
+preserved copy or fenced off by ``end_gen``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.core.clock import INFINITY
+from repro.db.storage import RowVersion, Table
+
+
+def rollback_row(
+    table: Table,
+    row_id: int,
+    ts: int,
+    current_gen: int,
+    repair_gen: int,
+) -> Set[Tuple[str, str, object]]:
+    """Roll back ``row_id`` to just before ``ts`` in ``repair_gen``.
+
+    Returns the set of partition keys whose contents changed as a result
+    (used to drive re-execution of dependent queries).
+    """
+    schema = table.schema
+    touched: Set[Tuple[str, str, object]] = set()
+    chain = list(table.row_versions(row_id))
+    if not chain:
+        return touched
+
+    survivors = []
+    for version in chain:
+        if not version.visible_in_gen(repair_gen):
+            continue
+        if version.start_ts >= ts:
+            _exclude_from_gen(table, version, current_gen, repair_gen)
+            touched |= _partition_keys(schema, version.data)
+        else:
+            survivors.append(version)
+
+    if not survivors:
+        return touched
+
+    latest = max(survivors, key=lambda v: v.end_ts)
+    if latest.end_ts == INFINITY:
+        return touched
+    # Re-extend the latest surviving version to "current" in the repair
+    # generation without disturbing the live generation's view of it.
+    if latest.visible_in_gen(current_gen):
+        extended = latest.copy()
+        extended.start_gen = repair_gen
+        extended.end_ts = INFINITY
+        latest.end_gen = min(latest.end_gen, current_gen)
+        table.add_version(extended)
+    else:
+        latest.end_ts = INFINITY
+    touched |= _partition_keys(schema, latest.data)
+    return touched
+
+
+def version_at(table: Table, row_id: int, ts: int, gen: int) -> Optional[RowVersion]:
+    """The version of ``row_id`` visible at ``(ts, gen)``, if any."""
+    return table.visible_version(row_id, ts, gen)
+
+
+def _exclude_from_gen(
+    table: Table, version: RowVersion, current_gen: int, repair_gen: int
+) -> None:
+    if version.start_gen >= repair_gen:
+        # Created during this repair: it can simply be discarded.
+        table.remove_version(version)
+    else:
+        version.end_gen = current_gen
+
+
+def _partition_keys(schema, data) -> Set[Tuple[str, str, object]]:
+    keys = set()
+    for column in schema.partition_columns:
+        value = data.get(column)
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            keys.add((schema.name, column, value))
+    return keys

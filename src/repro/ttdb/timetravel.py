@@ -1,0 +1,287 @@
+"""The time-travel database facade (paper §4).
+
+``TimeTravelDB`` is what application code talks to.  During normal
+execution every statement is stamped with a fresh logical timestamp and
+runs in the *current* generation; rich results (read partitions, written
+row IDs, result snapshots) are returned so the application runtime can log
+them as dependencies.  During repair, statements are re-executed *at their
+original historical timestamps* in the *next* generation.
+
+``enabled=False`` gives the "No WARP" baseline used by Table 6: plain
+in-place execution with no versioning and no dependency information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.clock import INFINITY, LogicalClock
+from repro.core.errors import RepairError, SqlError
+from repro.db.executor import ExecContext, Executor, QueryResult
+from repro.db.sql import ast
+from repro.db.sql.parser import parse
+from repro.db.storage import Database, TableSchema
+from repro.ttdb.partitions import ReadSet, read_partitions
+from repro.ttdb.rollback import rollback_row as _rollback_row
+
+
+@dataclass
+class TTResult:
+    """One executed statement plus everything dependency tracking needs."""
+
+    sql: str
+    params: Tuple[object, ...]
+    ts: int
+    gen: int
+    result: QueryResult
+    read_set: ReadSet
+    #: True when a write had no WHERE clause (modifies the whole table).
+    full_table_write: bool = False
+
+    @property
+    def rows(self) -> Optional[List[dict]]:
+        return self.result.rows
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def is_write(self) -> bool:
+        return self.result.kind != "select"
+
+    def one(self) -> Optional[dict]:
+        """First result row or None (SELECT convenience)."""
+        if self.result.rows:
+            return self.result.rows[0]
+        return None
+
+    def scalar(self):
+        """Sole value of the first row (aggregate convenience)."""
+        row = self.one()
+        if row is None:
+            return None
+        return next(iter(row.values()))
+
+
+class TimeTravelDB:
+    """Versioned, generation-aware execution over :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        clock: LogicalClock,
+        enabled: bool = True,
+    ) -> None:
+        self.database = database
+        self.clock = clock
+        self.enabled = enabled
+        self.executor = Executor(database, versioned=enabled)
+        self.current_gen = 0
+        self.repair_gen: Optional[int] = None
+        #: Count of statements executed (all modes), for metrics.
+        self.statements_executed = 0
+        #: Ablation switch: with partition analysis off, every query reads
+        #: ALL partitions of its table (whole-table dependencies).
+        self.partition_analysis = True
+
+    # -- schema ----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.database.create_table(schema)
+
+    def schema(self, table: str) -> TableSchema:
+        return self.database.table(table).schema
+
+    # -- normal execution --------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[object] = ()) -> TTResult:
+        """Execute one statement in the current generation, now."""
+        stmt = parse(sql)
+        ts = self.clock.tick()
+        ctx = ExecContext(
+            ts=ts, gen=self.current_gen, current_gen=self.current_gen, repair=False
+        )
+        return self._run(stmt, sql, tuple(params), ctx)
+
+    def execute_script(self, sql: str, params: Sequence[object] = ()) -> List[TTResult]:
+        """Execute a semicolon-separated batch (the SQL-injection vector).
+
+        A parameterised API would never expose this, which is exactly the
+        point: vulnerable application code that builds SQL by string
+        concatenation routes through here, so a piggybacked statement in
+        user input really executes.
+        """
+        results = []
+        for piece in split_statements(sql):
+            results.append(self.execute(piece, params))
+        return results
+
+    # -- repair execution ---------------------------------------------------------
+
+    def execute_at(
+        self,
+        sql: str,
+        params: Sequence[object],
+        ts: int,
+        forced_row_ids: Tuple[int, ...] = (),
+    ) -> TTResult:
+        """Re-execute a statement at historical time ``ts`` in the repair
+        generation (paper §4.4: 'the query always executes in the next
+        generation')."""
+        if self.repair_gen is None:
+            raise RepairError("no repair generation is active")
+        stmt = parse(sql)
+        ctx = ExecContext(
+            ts=ts,
+            gen=self.repair_gen,
+            current_gen=self.current_gen,
+            repair=True,
+            forced_row_ids=forced_row_ids,
+        )
+        return self._run(stmt, sql, tuple(params), ctx)
+
+    def matching_row_ids(self, sql: str, params: Sequence[object], ts: int) -> Tuple[int, ...]:
+        """Row IDs a write's WHERE clause selects at (ts, repair_gen), for
+        two-phase re-execution of multi-row writes (paper §4.2)."""
+        if self.repair_gen is None:
+            raise RepairError("no repair generation is active")
+        stmt = parse(sql)
+        where = getattr(stmt, "where", None)
+        if isinstance(stmt, ast.Insert):
+            return ()
+        ctx = ExecContext(
+            ts=ts, gen=self.repair_gen, current_gen=self.current_gen, repair=True
+        )
+        rows = self.executor.matching_rows(_table_of(stmt), where, tuple(params), ctx)
+        return tuple(version.row_id for version in rows)
+
+    def _run(
+        self, stmt: ast.Statement, sql: str, params: Tuple[object, ...], ctx: ExecContext
+    ) -> TTResult:
+        schema = self.database.table(_table_of(stmt)).schema
+        if self.partition_analysis:
+            read_set = read_partitions(stmt, params, schema)
+        else:
+            read_set = ReadSet(_table_of(stmt), disjuncts=None)
+        result = self.executor.execute(stmt, params, ctx)
+        self.statements_executed += 1
+        full_table_write = (
+            isinstance(stmt, (ast.Update, ast.Delete)) and stmt.where is None
+        )
+        return TTResult(
+            sql=sql,
+            params=params,
+            ts=ctx.ts,
+            gen=ctx.gen,
+            result=result,
+            read_set=read_set,
+            full_table_write=full_table_write,
+        )
+
+    # -- generations -----------------------------------------------------------------
+
+    def begin_repair(self) -> int:
+        """Fork the next repair generation (paper §4.3)."""
+        if self.repair_gen is not None:
+            raise RepairError("a repair generation is already active")
+        if not self.enabled:
+            raise RepairError("time-travel is disabled; repair is impossible")
+        self.repair_gen = self.current_gen + 1
+        return self.repair_gen
+
+    def finalize_repair(self) -> None:
+        """Atomically switch the repaired generation live."""
+        if self.repair_gen is None:
+            raise RepairError("no repair generation is active")
+        self.current_gen = self.repair_gen
+        self.repair_gen = None
+
+    def abort_repair(self) -> None:
+        """Discard the repair generation, restoring the pre-repair state.
+
+        Every mutation repair makes is reversible by construction: versions
+        created during repair carry ``start_gen == repair_gen`` (dropped),
+        and versions fenced away from the repair generation carry
+        ``end_gen == current_gen`` (re-extended) — the live generation never
+        observes either.
+        """
+        if self.repair_gen is None:
+            raise RepairError("no repair generation is active")
+        repair_gen = self.repair_gen
+        for table in self.database.tables.values():
+            for version in list(table.all_versions()):
+                if version.start_gen >= repair_gen:
+                    table.remove_version(version)
+                elif version.end_gen == self.current_gen:
+                    version.end_gen = INFINITY
+        self.repair_gen = None
+
+    # -- rollback -------------------------------------------------------------------
+
+    def rollback_row(self, table_name: str, row_id: int, ts: int) -> Set[Tuple]:
+        """Roll ``row_id`` back to just before ``ts`` in the repair gen."""
+        if self.repair_gen is None:
+            raise RepairError("rollback requires an active repair generation")
+        table = self.database.table(table_name)
+        return _rollback_row(table, row_id, ts, self.current_gen, self.repair_gen)
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def gc(self, horizon_ts: int) -> int:
+        """Drop row versions unreachable from ``horizon_ts`` onwards, plus
+        versions stranded in superseded generations (paper §4.2)."""
+        removed = 0
+        for table in self.database.tables.values():
+            for version in list(table.all_versions()):
+                if version.end_gen < self.current_gen:
+                    table.remove_version(version)
+                    removed += 1
+            removed += table.gc(horizon_ts)
+        return removed
+
+    def total_versions(self) -> int:
+        return self.database.total_versions()
+
+
+def _table_of(stmt: ast.Statement) -> str:
+    for attr in ("table",):
+        name = getattr(stmt, attr, None)
+        if name:
+            return name
+    raise SqlError("statement has no target table")
+
+
+def split_statements(sql: str) -> List[str]:
+    """Split a batch on top-level semicolons, honouring string literals."""
+    pieces: List[str] = []
+    current: List[str] = []
+    in_string = False
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if in_string:
+            current.append(ch)
+            if ch == "'":
+                if i + 1 < n and sql[i + 1] == "'":
+                    current.append("'")
+                    i += 1
+                else:
+                    in_string = False
+        elif ch == "'":
+            in_string = True
+            current.append(ch)
+        elif ch == ";":
+            piece = "".join(current).strip()
+            if piece and not piece.startswith("--"):
+                pieces.append(piece)
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    piece = "".join(current).strip()
+    if piece and not piece.startswith("--"):
+        pieces.append(piece)
+    return pieces

@@ -1,0 +1,158 @@
+"""WarpSystem: one fully wired WARP deployment.
+
+Bundles the clock, time-travel database, action history graph, script
+store, application runtime, logged HTTP server, simulated network, and the
+conflict queue; exposes the two repair entry points (retroactive patching
+and visit cancellation) plus client-browser construction.
+
+This is the public API a downstream user programs against::
+
+    warp = WarpSystem()
+    wiki = WikiApp(warp.ttdb, warp.scripts, warp.server)
+    wiki.install()
+    alice = warp.client("alice-laptop")
+    alice.open("http://wiki.test/index.php?title=Main_Page")
+    ...
+    result = warp.retroactive_patch("login.php", patched_exports)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.ahg.graph import ActionHistoryGraph
+from repro.appserver.runtime import AppRuntime
+from repro.appserver.scripts import ScriptStore
+from repro.browser.browser import Browser, Network
+from repro.browser.extension import WarpExtension
+from repro.core.clock import LogicalClock
+from repro.core.ids import IdAllocator, random_token
+from repro.db.storage import Database
+from repro.http.server import HttpServer
+from repro.repair.conflicts import Conflict, ConflictQueue
+from repro.repair.controller import RepairController, RepairResult
+from repro.repair.replay import ReplayConfig
+from repro.ttdb.timetravel import TimeTravelDB
+
+
+class WarpSystem:
+    """A complete WARP deployment around one web application server."""
+
+    def __init__(
+        self,
+        origin: str = "http://wiki.test",
+        seed: int = 0,
+        enabled: bool = True,
+        replay_config: Optional[ReplayConfig] = None,
+    ) -> None:
+        self.origin = origin
+        self.enabled = enabled
+        self.clock = LogicalClock()
+        self.ids = IdAllocator()
+        self.rng = random.Random(seed)
+
+        self.database = Database()
+        self.ttdb = TimeTravelDB(self.database, self.clock, enabled=enabled)
+        self.graph = ActionHistoryGraph()
+        self.scripts = ScriptStore()
+        self.runtime = AppRuntime(
+            self.scripts, self.ttdb, self.clock, self.ids, rng=self.rng
+        )
+        self.runtime.recording = enabled
+        self.server = HttpServer(self.runtime, self.graph, origin=origin)
+        self.server.recording = enabled
+        self.network = Network()
+        self.network.register(origin, self.server.handle)
+        self.conflicts = ConflictQueue()
+        self.server.conflict_lookup = self.conflicts.pending_count
+        self.replay_config = replay_config if replay_config is not None else ReplayConfig()
+        self.last_repair: Optional[RepairResult] = None
+
+    # -- clients -----------------------------------------------------------------
+
+    def client(
+        self,
+        name: Optional[str] = None,
+        extension: bool = True,
+        upload: bool = True,
+    ) -> Browser:
+        """A user's browser.  ``extension=False`` models a user without the
+        WARP extension; ``upload=False`` models one whose extension attaches
+        correlation headers but uploads no event logs (Table 4 ablations)."""
+        if not extension:
+            return Browser(self.network)
+        client_id = name if name is not None else random_token(self.rng)
+        ext = WarpExtension(client_id, self.graph, self.clock, upload=upload)
+        return Browser(self.network, extension=ext)
+
+    def register_site(self, origin: str, handler: Callable) -> None:
+        """Add a third-party site (e.g. the attacker's) to the network."""
+        self.network.register(origin, handler)
+
+    # -- repair ------------------------------------------------------------------
+
+    def _controller(self) -> RepairController:
+        return RepairController(
+            ttdb=self.ttdb,
+            graph=self.graph,
+            scripts=self.scripts,
+            runtime=self.runtime,
+            server=self.server,
+            network=self.network,
+            conflicts=self.conflicts,
+            clock=self.clock,
+            ids=self.ids,
+            replay_config=self.replay_config,
+        )
+
+    def retroactive_patch(
+        self, file: str, exports: Dict, apply_ts: int = 0
+    ) -> RepairResult:
+        """Retroactively apply a security patch (paper §3)."""
+        controller = self._controller()
+        self.last_repair = controller.retroactive_patch(file, exports, apply_ts)
+        return self.last_repair
+
+    def cancel_visit(
+        self,
+        client_id: str,
+        visit_id: int,
+        initiated_by_admin: bool = True,
+        allow_conflicts: bool = False,
+    ) -> RepairResult:
+        """Undo a past page visit (paper §5.5)."""
+        controller = self._controller()
+        self.last_repair = controller.cancel_visit(
+            client_id, visit_id, initiated_by_admin, allow_conflicts
+        )
+        return self.last_repair
+
+    def cancel_client(self, client_id: str) -> RepairResult:
+        """Undo every recorded action of one client (paper §2)."""
+        controller = self._controller()
+        self.last_repair = controller.cancel_client(client_id)
+        return self.last_repair
+
+    def retroactive_db_fix(
+        self, sql: str, params: tuple, ts: int
+    ) -> RepairResult:
+        """Fix past database state (e.g. retroactively change a leaked
+        password) and repair everything that depended on it (paper §2)."""
+        controller = self._controller()
+        self.last_repair = controller.retroactive_db_fix(sql, tuple(params), ts)
+        return self.last_repair
+
+    def resolve_conflict_by_cancel(self, conflict: Conflict) -> RepairResult:
+        """The paper's conflict-resolution UI: cancel the conflicted visit.
+
+        Allowed to cascade conflicts to other users because it resolves a
+        conflict already reported to this user (§5.5)."""
+        result = self.cancel_visit(
+            conflict.client_id,
+            conflict.visit_id,
+            initiated_by_admin=False,
+            allow_conflicts=True,
+        )
+        self.conflicts.resolve(conflict)
+        return result

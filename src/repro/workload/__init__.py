@@ -1,0 +1,17 @@
+"""Workload generation and attack scenarios (paper §8.2).
+
+``WikiDeployment`` stands up a complete WARP + wiki installation;
+``run_scenario`` stages one of the six evaluation scenarios (users log in,
+read and edit pages; the attacker strikes; victims trigger the attack in
+their browsers; more legitimate activity follows) and returns handles for
+repairing and asserting ground truth.
+"""
+
+from repro.workload.scenarios import (
+    ATTACK_TYPES,
+    ScenarioOutcome,
+    WikiDeployment,
+    run_scenario,
+)
+
+__all__ = ["WikiDeployment", "run_scenario", "ScenarioOutcome", "ATTACK_TYPES"]

@@ -1,0 +1,181 @@
+"""Logging-overhead measurement (paper §8.5, Table 6).
+
+Two workloads — reading pages and editing pages — run against three server
+configurations: WARP disabled (plain execution), WARP enabled, and WARP
+enabled while a repair is concurrently underway.  Storage cost is measured
+by serializing (and compressing, like the paper) the dependency records
+each page visit produced: the browser event log, the application run log,
+and the database query log plus row-version deltas.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ahg.records import AppRunRecord, VisitRecord
+from repro.workload.scenarios import WIKI, WikiDeployment
+
+
+def _compressed_size(payload) -> int:
+    text = json.dumps(payload, default=repr, sort_keys=True)
+    return len(zlib.compress(text.encode("utf-8")))
+
+
+def visit_log_bytes(record: VisitRecord) -> int:
+    return _compressed_size(
+        {
+            "url": record.url,
+            "method": record.method,
+            "post": record.post_params,
+            "parent": record.parent_visit,
+            "framed": record.framed,
+            "events": [
+                {"t": e.etype, "x": e.xpath, "d": e.data} for e in record.events
+            ],
+            "cookies_before": record.cookies_before,
+            "cookies_after": record.cookies_after,
+            "requests": record.request_ids,
+        }
+    )
+
+
+def run_log_bytes(record: AppRunRecord) -> int:
+    app_part = _compressed_size(
+        {
+            "script": record.script,
+            "files": record.loaded_files,
+            "request": {
+                "m": record.request.method,
+                "p": record.request.path,
+                "params": record.request.params,
+                "cookies": record.request.cookies,
+            },
+            "response": {
+                "s": record.response.status,
+                "b": record.response.body,
+                "h": record.response.headers,
+                "c": record.response.set_cookies,
+            },
+            "nondet": [(n.func, n.seq, n.value) for n in record.nondet],
+        }
+    )
+    return app_part
+
+
+def query_log_bytes(record: AppRunRecord) -> int:
+    return _compressed_size(
+        [
+            {
+                "sql": q.sql,
+                "params": q.params,
+                "ts": q.ts,
+                "reads": sorted(map(repr, q.read_set.keys())),
+                "writes": q.written_row_ids,
+                "snapshot": q.snapshot,
+            }
+            for q in record.queries
+        ]
+    )
+
+
+@dataclass
+class StorageReport:
+    """Per-page-visit dependency-log sizes in KB (Table 6 right half)."""
+
+    browser_kb: float
+    app_kb: float
+    db_kb: float
+    n_visits: int
+
+    @property
+    def total_kb(self) -> float:
+        return self.browser_kb + self.app_kb + self.db_kb
+
+    def gb_per_day(self, visits_per_second: float) -> float:
+        """Paper's extrapolation: continuous 100% load for 24 hours."""
+        per_visit_bytes = self.total_kb * 1024
+        return per_visit_bytes * visits_per_second * 86400 / 1e9
+
+
+def storage_report(deployment: WikiDeployment) -> StorageReport:
+    graph = deployment.warp.graph
+    n_visits = max(1, graph.n_visits)
+    browser_bytes = sum(visit_log_bytes(v) for v in graph.visits.values())
+    app_bytes = sum(run_log_bytes(r) for r in graph.runs_in_order())
+    db_bytes = sum(query_log_bytes(r) for r in graph.runs_in_order())
+    return StorageReport(
+        browser_kb=browser_bytes / n_visits / 1024,
+        app_kb=app_bytes / n_visits / 1024,
+        db_kb=db_bytes / n_visits / 1024,
+        n_visits=n_visits,
+    )
+
+
+# -- throughput workloads --------------------------------------------------------
+
+
+def _stage(deployment: WikiDeployment, n_users: int) -> None:
+    for user in deployment.users[:n_users]:
+        deployment.login(user)
+
+
+def run_read_workload(deployment: WikiDeployment, n_visits: int) -> float:
+    """Page views per second for a read-only workload."""
+    browser = deployment.login(deployment.users[0])
+    titles = ["Main_Page", "Projects", f"{deployment.users[0]}_notes"]
+    start = time.perf_counter()
+    for index in range(n_visits):
+        browser.open(f"{WIKI}/index.php?title={titles[index % len(titles)]}")
+    elapsed = time.perf_counter() - start
+    return n_visits / elapsed if elapsed > 0 else float("inf")
+
+
+def run_edit_workload(deployment: WikiDeployment, n_edits: int) -> float:
+    """Edit cycles per second (form + save = 2 page visits per cycle)."""
+    user = deployment.users[0]
+    deployment.login(user)
+    title = f"{user}_notes"
+    start = time.perf_counter()
+    for index in range(n_edits):
+        deployment.edit_page(user, title, f"content revision {index}\nline two")
+    elapsed = time.perf_counter() - start
+    return (2 * n_edits) / elapsed if elapsed > 0 else float("inf")
+
+
+@dataclass
+class OverheadReport:
+    """One Table 6 row."""
+
+    workload: str
+    no_warp_rate: float
+    warp_rate: float
+    during_repair_rate: Optional[float]
+    storage: Optional[StorageReport]
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.no_warp_rate == 0:
+            return 0.0
+        return 100.0 * (1 - self.warp_rate / self.no_warp_rate)
+
+
+def measure_overhead(
+    workload: str, n_visits: int = 300, seed: int = 7
+) -> OverheadReport:
+    """Measure one workload under no-WARP and WARP configurations."""
+    runner = run_read_workload if workload == "read" else run_edit_workload
+    plain = WikiDeployment(n_users=2, seed=seed, enabled=False)
+    no_warp_rate = runner(plain, n_visits)
+    recorded = WikiDeployment(n_users=2, seed=seed)
+    warp_rate = runner(recorded, n_visits)
+    return OverheadReport(
+        workload=workload,
+        no_warp_rate=no_warp_rate,
+        warp_rate=warp_rate,
+        during_repair_rate=None,
+        storage=storage_report(recorded),
+    )

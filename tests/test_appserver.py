@@ -1,0 +1,207 @@
+"""Unit tests for the application runtime: script versioning, dependency
+recording, and nondeterminism record/replay (paper §3)."""
+
+import pytest
+
+from repro.ahg.records import NondetRecord
+from repro.appserver.nondet import NondetReplayer, NondetSource
+from repro.appserver.runtime import AppRuntime
+from repro.appserver.scripts import ScriptStore
+from repro.core.clock import LogicalClock
+from repro.core.errors import ReproError
+from repro.core.ids import IdAllocator
+from repro.db.storage import Column, Database, TableSchema
+from repro.http.message import HttpRequest
+from repro.ttdb.timetravel import TimeTravelDB
+
+import random
+
+
+@pytest.fixture
+def runtime():
+    db = Database()
+    clock = LogicalClock()
+    ttdb = TimeTravelDB(db, clock)
+    ttdb.create_table(
+        TableSchema(
+            "items",
+            (Column("item_id", "int"), Column("name")),
+            row_id_column="item_id",
+            partition_columns=("name",),
+        )
+    )
+    scripts = ScriptStore()
+    return AppRuntime(scripts, ttdb, clock, IdAllocator(), rng=random.Random(1))
+
+
+def register_page(runtime, name="page.php", handler=None):
+    def default_handler(ctx):
+        ctx.echo("<html><body>hello</body></html>")
+
+    runtime.scripts.register(name, {"handle": handler or default_handler})
+
+
+class TestScriptStore:
+    def test_register_and_get(self, runtime):
+        register_page(runtime)
+        assert runtime.scripts.version("page.php") == 0
+
+    def test_duplicate_registration_rejected(self, runtime):
+        register_page(runtime)
+        with pytest.raises(ReproError):
+            register_page(runtime)
+
+    def test_patch_bumps_version(self, runtime):
+        register_page(runtime)
+        v1 = runtime.scripts.patch("page.php", {"handle": lambda ctx: None})
+        assert v1 == 1
+        assert runtime.scripts.version("page.php") == 1
+
+    def test_old_versions_still_accessible(self, runtime):
+        register_page(runtime)
+        old = runtime.scripts.get("page.php").at_version(0)
+        runtime.scripts.patch("page.php", {"handle": lambda ctx: None})
+        assert runtime.scripts.get("page.php").at_version(0) is old
+
+    def test_unknown_script_raises(self, runtime):
+        with pytest.raises(ReproError):
+            runtime.scripts.get("missing.php")
+
+
+class TestRunRecording:
+    def test_run_records_request_and_response(self, runtime):
+        register_page(runtime)
+        request = HttpRequest("GET", "/page.php")
+        response, record = runtime.execute("page.php", request)
+        assert response.status == 200
+        assert record.script == "page.php"
+        assert record.request is request
+        assert record.response.body.startswith("<html>")
+
+    def test_loaded_files_recorded_with_versions(self, runtime):
+        runtime.scripts.register("lib.php", {"helper": lambda: 42})
+
+        def handler(ctx):
+            lib = ctx.load("lib.php")
+            ctx.echo(str(lib["helper"]()))
+
+        register_page(runtime, handler=handler)
+        _, record = runtime.execute("page.php", HttpRequest("GET", "/page.php"))
+        assert record.loaded_files == {"page.php": 0, "lib.php": 0}
+
+    def test_queries_recorded_in_order(self, runtime):
+        def handler(ctx):
+            ctx.query("INSERT INTO items (name) VALUES (?)", ("a",))
+            ctx.query("SELECT * FROM items WHERE name = ?", ("a",))
+
+        register_page(runtime, handler=handler)
+        _, record = runtime.execute("page.php", HttpRequest("GET", "/page.php"))
+        assert [q.kind for q in record.queries] == ["insert", "select"]
+        assert record.queries[0].seq == 0
+        assert record.queries[1].seq == 1
+        assert record.queries[1].ts > record.queries[0].ts
+
+    def test_query_read_set_recorded(self, runtime):
+        def handler(ctx):
+            ctx.query("SELECT * FROM items WHERE name = ?", ("x",))
+
+        register_page(runtime, handler=handler)
+        _, record = runtime.execute("page.php", HttpRequest("GET", "/page.php"))
+        assert record.queries[0].read_set.disjuncts == (
+            frozenset({("name", "x")}),
+        )
+
+    def test_missing_script_gives_404(self, runtime):
+        response, record = runtime.execute("nope.php", HttpRequest("GET", "/nope"))
+        assert response.status == 404
+
+    def test_handler_exception_gives_500(self, runtime):
+        def handler(ctx):
+            ctx.query("SELECT broken syntax FROM")
+
+        register_page(runtime, handler=handler)
+        response, _ = runtime.execute("page.php", HttpRequest("GET", "/page.php"))
+        assert response.status == 500
+
+    def test_recording_disabled_skips_query_log(self, runtime):
+        def handler(ctx):
+            ctx.query("INSERT INTO items (name) VALUES ('a')")
+            ctx.time()
+
+        register_page(runtime, handler=handler)
+        runtime.recording = False
+        _, record = runtime.execute("page.php", HttpRequest("GET", "/page.php"))
+        assert record.queries == []
+        assert record.nondet == []
+
+    def test_warp_headers_captured(self, runtime):
+        register_page(runtime)
+        request = HttpRequest(
+            "GET",
+            "/page.php",
+            headers={
+                "X-Warp-Client": "c1",
+                "X-Warp-Visit": "3",
+                "X-Warp-Request": "2",
+            },
+        )
+        _, record = runtime.execute("page.php", request)
+        assert record.browser_key() == ("c1", 3)
+        assert record.request_id == 2
+
+
+class TestNondet:
+    def test_values_recorded(self, runtime):
+        def handler(ctx):
+            ctx.echo(str(ctx.time()))
+            ctx.echo(str(ctx.rand()))
+            ctx.echo(ctx.token())
+
+        register_page(runtime, handler=handler)
+        _, record = runtime.execute("page.php", HttpRequest("GET", "/page.php"))
+        assert [n.func for n in record.nondet] == ["time", "rand", "token"]
+
+    def test_replayer_returns_recorded_values_in_order(self, runtime):
+        log = [
+            NondetRecord("rand", 0, 111),
+            NondetRecord("rand", 1, 222),
+            NondetRecord("token", 0, "tok-a"),
+        ]
+        fallback = NondetSource(LogicalClock(), random.Random(9))
+        replayer = NondetReplayer(log, fallback)
+        assert replayer.call("rand") == 111
+        assert replayer.call("token") == "tok-a"
+        assert replayer.call("rand") == 222
+        assert replayer.misses == 0
+
+    def test_replayer_falls_back_when_exhausted(self):
+        fallback = NondetSource(LogicalClock(), random.Random(9))
+        replayer = NondetReplayer([NondetRecord("rand", 0, 5)], fallback)
+        assert replayer.call("rand") == 5
+        fresh = replayer.call("rand")
+        assert isinstance(fresh, int)
+        assert replayer.misses == 1
+
+    def test_identical_reexecution_with_replay(self, runtime):
+        """Re-running a handler with the recorded nondet log reproduces the
+        byte-identical response (the §3.3 optimization)."""
+
+        def handler(ctx):
+            ctx.echo(f"tok={ctx.token()} t={ctx.time()}")
+
+        register_page(runtime, handler=handler)
+        request = HttpRequest("GET", "/page.php")
+        response1, record1 = runtime.execute("page.php", request)
+        replayer = NondetReplayer(record1.nondet, runtime.nondet_source)
+        response2, _ = runtime.execute("page.php", request, nondet=replayer)
+        assert response1.body == response2.body
+
+    def test_different_without_replay(self, runtime):
+        def handler(ctx):
+            ctx.echo(f"tok={ctx.token()}")
+
+        register_page(runtime, handler=handler)
+        request = HttpRequest("GET", "/page.php")
+        response1, _ = runtime.execute("page.php", request)
+        response2, _ = runtime.execute("page.php", request)
+        assert response1.body != response2.body

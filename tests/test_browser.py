@@ -1,0 +1,294 @@
+"""Integration tests for the browser: navigation, cookies, forms, scripts,
+frames/X-Frame-Options, and WARP extension recording."""
+
+import pytest
+
+from repro.ahg.graph import ActionHistoryGraph
+from repro.browser.browser import Browser, Network
+from repro.browser.extension import WarpExtension
+from repro.core.clock import LogicalClock
+from repro.http.message import HttpRequest, HttpResponse
+
+ORIGIN = "http://site.test"
+
+
+def make_site(pages, deny_framing=False):
+    """A tiny static-ish site; ``pages`` maps path -> body or callable."""
+    calls = []
+
+    def handler(request):
+        calls.append(request)
+        entry = pages.get(request.path)
+        if entry is None:
+            return HttpResponse(status=404, body="nope")
+        body = entry(request) if callable(entry) else entry
+        if isinstance(body, HttpResponse):
+            response = body
+        else:
+            response = HttpResponse(body=body)
+        if deny_framing:
+            response.headers["X-Frame-Options"] = "DENY"
+        return response
+
+    network = Network()
+    network.register(ORIGIN, handler)
+    return network, calls
+
+
+def make_browser(network, graph=None):
+    graph = graph if graph is not None else ActionHistoryGraph()
+    ext = WarpExtension("client-abc", graph, LogicalClock())
+    return Browser(network, extension=ext), graph
+
+
+class TestNavigation:
+    def test_open_parses_page(self):
+        network, _ = make_site({"/": "<html><body><p id='x'>hi</p></body></html>"})
+        browser, _ = make_browser(network)
+        visit = browser.open(f"{ORIGIN}/")
+        assert visit.document.get_element_by_id("x").text_content() == "hi"
+
+    def test_click_link_creates_dependent_visit(self):
+        network, _ = make_site(
+            {"/": "<body><a id='go' href='/next'>next</a></body>", "/next": "<body>there</body>"}
+        )
+        browser, _ = make_browser(network)
+        first = browser.open(f"{ORIGIN}/")
+        second = browser.click("#go")
+        assert second.parent_visit == first.visit_id
+        assert second.visit_id != first.visit_id
+        assert "there" in second.document.body_text()
+
+    def test_404_for_unknown_path(self):
+        network, _ = make_site({})
+        browser, _ = make_browser(network)
+        visit = browser.open(f"{ORIGIN}/missing")
+        assert visit.response.status == 404
+
+    def test_no_server_gives_502(self):
+        browser, _ = make_browser(Network())
+        visit = browser.open("http://ghost.test/")
+        assert visit.response.status == 502
+
+
+class TestCookies:
+    def test_set_cookie_persists_across_visits(self):
+        def login(request):
+            response = HttpResponse(body="<body>ok</body>")
+            response.set_cookies["sess"] = "tok123"
+            return response
+
+        def check(request):
+            return HttpResponse(body=f"<body>{request.cookies.get('sess', 'none')}</body>")
+
+        network, _ = make_site({"/login": login, "/check": check})
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/login")
+        visit = browser.open(f"{ORIGIN}/check")
+        assert "tok123" in visit.document.body_text()
+
+    def test_cookie_deletion(self):
+        def setc(request):
+            response = HttpResponse(body="x")
+            response.set_cookies["sess"] = "tok"
+            return response
+
+        def delc(request):
+            response = HttpResponse(body="x")
+            response.set_cookies["sess"] = None
+            return response
+
+        network, _ = make_site({"/set": setc, "/del": delc})
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/set")
+        assert browser.cookies_for(ORIGIN) == {"sess": "tok"}
+        browser.open(f"{ORIGIN}/del")
+        assert browser.cookies_for(ORIGIN) == {}
+
+    def test_cookies_scoped_by_origin(self):
+        def setc(request):
+            response = HttpResponse(body="x")
+            response.set_cookies["sess"] = "tok"
+            return response
+
+        network, _ = make_site({"/set": setc})
+        other_hits = []
+        network.register(
+            "http://other.test",
+            lambda req: (other_hits.append(dict(req.cookies)), HttpResponse(body="y"))[1],
+        )
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/set")
+        browser.open("http://other.test/")
+        assert other_hits == [{}]
+
+
+class TestForms:
+    FORM_PAGE = (
+        "<body><form action='/save' method='post'>"
+        "<input type='text' name='title' value='orig'>"
+        "<input type='hidden' name='token' value='tk9'>"
+        "<textarea name='body'>old text</textarea>"
+        "<input type='submit' name='go' value='Save'>"
+        "</form></body>"
+    )
+
+    def test_type_and_submit_posts_fields(self):
+        posted = {}
+
+        def save(request):
+            posted.update(request.params)
+            return HttpResponse(body="<body>saved</body>")
+
+        network, _ = make_site({"/form": self.FORM_PAGE, "/save": save})
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/form")
+        browser.type_into("textarea", "new text")
+        result = browser.click("input[name=go]")
+        assert posted["title"] == "orig"
+        assert posted["body"] == "new text"
+        assert posted["token"] == "tk9"  # hidden fields ride along
+        assert posted["go"] == "Save"
+        assert "saved" in result.document.body_text()
+
+    def test_submit_visit_depends_on_form_visit(self):
+        network, _ = make_site({"/form": self.FORM_PAGE, "/save": "<body>ok</body>"})
+        browser, _ = make_browser(network)
+        first = browser.open(f"{ORIGIN}/form")
+        second = browser.submit("form")
+        assert second.parent_visit == first.visit_id
+
+
+class TestScripts:
+    def test_page_script_issues_http_request(self):
+        hits = []
+
+        def ping(request):
+            hits.append(request.params)
+            return HttpResponse(body="pong")
+
+        page = "<body><script>http_get('/ping');</script></body>"
+        network, _ = make_site({"/": page, "/ping": ping})
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/")
+        assert len(hits) == 1
+
+    def test_script_reads_dom_and_posts(self):
+        posted = {}
+
+        def save(request):
+            posted.update(request.params)
+            return HttpResponse(body="ok")
+
+        page = (
+            "<body><span id='username'>alice</span>"
+            "<script>var u = doc_text('#username');"
+            "http_post('/save', {'page': u + '_notes'});</script></body>"
+        )
+        network, _ = make_site({"/": page, "/save": save})
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/")
+        assert posted == {"page": "alice_notes"}
+
+    def test_escaped_script_does_not_run(self):
+        hits = []
+        page = "<body>&lt;script&gt;http_get('/ping');&lt;/script&gt;</body>"
+        network, _ = make_site({"/": page, "/ping": lambda r: hits.append(1) or HttpResponse()})
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/")
+        assert hits == []
+
+    def test_script_error_does_not_break_page(self):
+        page = "<body><script>nonsense(;</script><p id='p'>fine</p></body>"
+        network, _ = make_site({"/": page})
+        browser, _ = make_browser(network)
+        visit = browser.open(f"{ORIGIN}/")
+        assert visit.document.get_element_by_id("p") is not None
+        assert visit.script_errors
+
+
+class TestFrames:
+    def test_iframe_loads_child_visit(self):
+        network, _ = make_site({"/inner": "<body><p>inner</p></body>"})
+        attacker = Network()
+        attacker._servers.update(network._servers)
+        attacker.register(
+            "http://attacker.test",
+            lambda req: HttpResponse(body=f"<body><iframe src='{ORIGIN}/inner'></iframe></body>"),
+        )
+        browser, _ = make_browser(attacker)
+        outer = browser.open("http://attacker.test/")
+        inner = browser.framed_visit(outer)
+        assert inner is not None
+        assert inner.framed
+        assert "inner" in inner.document.body_text()
+
+    def test_x_frame_options_deny_blocks_framed_load(self):
+        network, _ = make_site({"/inner": "<body>secret</body>"}, deny_framing=True)
+        network.register(
+            "http://attacker.test",
+            lambda req: HttpResponse(body=f"<body><iframe src='{ORIGIN}/inner'></iframe></body>"),
+        )
+        browser, _ = make_browser(network)
+        outer = browser.open("http://attacker.test/")
+        inner = browser.framed_visit(outer)
+        assert inner.blocked
+        assert "secret" not in inner.document.body_text()
+
+    def test_x_frame_options_allows_toplevel_load(self):
+        network, _ = make_site({"/inner": "<body>secret</body>"}, deny_framing=True)
+        browser, _ = make_browser(network)
+        visit = browser.open(f"{ORIGIN}/inner")
+        assert not visit.blocked
+        assert "secret" in visit.document.body_text()
+
+
+class TestExtensionRecording:
+    def test_headers_attached(self):
+        network, calls = make_site({"/": "<body>x</body>"})
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/")
+        request = calls[0]
+        assert request.client_id == "client-abc"
+        assert request.visit_id == 1
+        assert request.request_id == 1
+
+    def test_request_ids_increment_within_visit(self):
+        page = "<body><script>http_get('/a'); http_get('/b');</script></body>"
+        network, calls = make_site({"/": page, "/a": "x", "/b": "y"})
+        browser, _ = make_browser(network)
+        browser.open(f"{ORIGIN}/")
+        assert [c.request_id for c in calls] == [1, 2, 3]
+
+    def test_visit_log_uploaded(self):
+        network, _ = make_site({"/": TestForms.FORM_PAGE, "/save": "<body>ok</body>"})
+        browser, graph = make_browser(network)
+        browser.open(f"{ORIGIN}/")
+        browser.type_into("textarea", "edited")
+        browser.submit("form")
+        record = graph.visits[("client-abc", 1)]
+        types = [event.etype for event in record.events]
+        assert types == ["input", "submit"]
+        input_event = record.events[0]
+        assert input_event.data["base"] == "old text"
+        assert input_event.data["value"] == "edited"
+        assert input_event.data["tag"] == "textarea"
+
+    def test_no_extension_no_headers(self):
+        network, calls = make_site({"/": "<body>x</body>"})
+        browser = Browser(network)
+        browser.open(f"{ORIGIN}/")
+        assert calls[0].client_id is None
+
+    def test_cookie_snapshots_recorded(self):
+        def login(request):
+            response = HttpResponse(body="x")
+            response.set_cookies["sess"] = "tok"
+            return response
+
+        network, _ = make_site({"/login": login})
+        browser, graph = make_browser(network)
+        browser.open(f"{ORIGIN}/login")
+        record = graph.visits[("client-abc", 1)]
+        assert record.cookies_before == {}
+        assert record.cookies_after[ORIGIN]["sess"] == "tok"

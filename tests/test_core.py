@@ -1,0 +1,110 @@
+"""Unit tests for core primitives: clock, IDs, repair stats timing."""
+
+import random
+
+import pytest
+
+from repro.core.clock import INFINITY, LogicalClock
+from repro.core.ids import IdAllocator, random_token
+from repro.repair.stats import PhaseTimer, RepairStats
+
+
+class TestLogicalClock:
+    def test_tick_strictly_increases(self):
+        clock = LogicalClock()
+        values = [clock.tick() for _ in range(5)]
+        assert values == sorted(set(values))
+
+    def test_now_does_not_advance(self):
+        clock = LogicalClock()
+        clock.tick()
+        assert clock.now() == clock.now()
+
+    def test_advance(self):
+        clock = LogicalClock()
+        clock.advance(10)
+        assert clock.now() == 10
+        with pytest.raises(ValueError):
+            clock.advance(0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock(start=-1)
+
+    def test_wall_time_monotonic(self):
+        clock = LogicalClock()
+        t1 = clock.wall_time()
+        clock.tick()
+        assert clock.wall_time() > t1
+
+    def test_infinity_beyond_any_tick(self):
+        clock = LogicalClock()
+        for _ in range(1000):
+            clock.tick()
+        assert clock.now() < INFINITY
+
+
+class TestIdAllocator:
+    def test_namespaces_independent(self):
+        ids = IdAllocator()
+        assert ids.next("run") == 1
+        assert ids.next("visit") == 1
+        assert ids.next("run") == 2
+
+    def test_peek(self):
+        ids = IdAllocator()
+        assert ids.peek("x") == 0
+        ids.next("x")
+        assert ids.peek("x") == 1
+
+    def test_random_token_deterministic_per_seed(self):
+        a = random_token(random.Random(5))
+        b = random_token(random.Random(5))
+        c = random_token(random.Random(6))
+        assert a == b
+        assert a != c
+        assert len(a) == 24
+
+
+class TestPhaseTimer:
+    def test_single_phase(self):
+        timer = PhaseTimer()
+        timer.push("a")
+        timer.pop()
+        assert timer.get("a") >= 0.0
+
+    def test_nested_phases_do_not_double_count(self):
+        import time
+
+        timer = PhaseTimer()
+        timer.push("outer")
+        timer.push("inner")
+        time.sleep(0.01)
+        timer.pop()
+        timer.pop()
+        # outer's self-time excludes inner's 10ms.
+        assert timer.get("inner") >= 0.009
+        assert timer.get("outer") < timer.get("inner")
+
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            timer.push("x")
+            timer.pop()
+        assert timer.get("x") >= 0.0
+
+    def test_stats_breakdown_adds_up(self):
+        stats = RepairStats()
+        stats.total_seconds = 1.0
+        stats.timer.buckets.update({"init": 0.1, "db": 0.2, "app": 0.3, "firefox": 0.1})
+        stats.graph_seconds = 0.1
+        breakdown = stats.breakdown()
+        assert breakdown["ctrl"] == pytest.approx(0.2)
+        assert breakdown["total"] == 1.0
+
+    def test_stats_row_format(self):
+        stats = RepairStats()
+        stats.visits_reexecuted = 3
+        stats.total_visits = 10
+        row = stats.row()
+        assert row["visits"] == "3 / 10"

@@ -1,0 +1,60 @@
+"""Table 4 reproduction tests: browser re-execution effectiveness (§8.3).
+
+Paper's expected grid (conflicts out of 8 victims):
+
+    attack        no-extension   no-merge   full
+    read-only          8            0        0
+    append-only        8            8        0
+    overwrite          8            8        8
+"""
+
+import pytest
+
+from repro.workload.effectiveness import run_effectiveness
+
+N = 4  # victims; the paper used 8 — the counts scale exactly (all-or-none)
+
+
+@pytest.mark.parametrize(
+    "attack_action,config,expected",
+    [
+        ("read-only", "no-extension", N),
+        ("read-only", "no-merge", 0),
+        ("read-only", "full", 0),
+        ("append-only", "no-extension", N),
+        ("append-only", "no-merge", N),
+        ("append-only", "full", 0),
+        ("overwrite", "no-extension", N),
+        ("overwrite", "no-merge", N),
+        ("overwrite", "full", N),
+    ],
+)
+def test_effectiveness_cell(attack_action, config, expected):
+    cell = run_effectiveness(attack_action, config, n_victims=N)
+    assert cell.victims_with_conflicts == expected
+
+
+def test_full_extension_preserves_victim_append_edits():
+    """In the full configuration the user's edit survives attack removal."""
+    from repro.workload.scenarios import WikiDeployment, WIKI
+    from repro.repair.replay import ReplayConfig
+
+    cell_deployment = WikiDeployment(n_users=2)
+    attacker = cell_deployment.login("attacker")
+    attacker.open(f"{WIKI}/special_block.php?ip=6.6.6.6")
+    attacker.type_into(
+        "input[name=reason]",
+        "<script>var u = doc_text('#username');"
+        f"http_post('{WIKI}/edit.php',"
+        " {'title': u + '_notes', 'append': 'xss-append-text'});</script>",
+    )
+    attacker.click("input[name=report]")
+    victim = cell_deployment.users[0]
+    cell_deployment.login(victim)
+    cell_deployment.browser(victim).open(f"{WIKI}/special_block.php?ip=6.6.6.6")
+    assert "xss-append-text" in cell_deployment.wiki.page_text(f"{victim}_notes")
+    cell_deployment.append_to_page(victim, f"{victim}_notes", "\nmy-own-words")
+    cell_deployment.patch("stored-xss")
+    text = cell_deployment.wiki.page_text(f"{victim}_notes")
+    assert "xss-append-text" not in text
+    assert "my-own-words" in text

@@ -1,0 +1,91 @@
+"""System-level invariants of repair.
+
+These are the properties the paper's guarantees rest on (§2): repaired
+state is deterministic for a deterministic history, repair never perturbs
+the live generation until finalize, and an aborted repair is a perfect
+no-op.
+"""
+
+import pytest
+
+from repro.apps.wiki.patches import patch_for
+from repro.workload.scenarios import run_scenario
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("attack", ["stored-xss", "csrf", "acl-error"])
+    def test_repair_counts_are_deterministic(self, attack):
+        rows = []
+        for _trial in range(2):
+            outcome = run_scenario(attack, n_users=12, n_victims=2, seed=42)
+            result = outcome.repair()
+            rows.append(
+                (
+                    result.stats.visits_reexecuted,
+                    result.stats.runs_reexecuted,
+                    result.stats.queries_reexecuted,
+                    result.stats.runs_canceled,
+                    len(result.conflicts),
+                )
+            )
+        assert rows[0] == rows[1]
+
+    def test_repaired_state_is_deterministic(self):
+        states = []
+        for _trial in range(2):
+            outcome = run_scenario("stored-xss", n_users=8, n_victims=2, seed=7)
+            outcome.repair()
+            states.append(
+                {
+                    user: outcome.wiki.page_text(f"{user}_notes")
+                    for user in outcome.deployment.users
+                }
+            )
+        assert states[0] == states[1]
+
+
+class TestGenerationIsolation:
+    def test_live_state_untouched_until_finalize(self):
+        """Mid-repair, the current generation serves the pre-repair view."""
+        outcome = run_scenario("stored-xss", n_users=6, n_victims=2)
+        victim = outcome.victims[0]
+        attacked_text = outcome.wiki.page_text(f"{victim}_notes")
+        assert "xss-attack-line" in attacked_text
+
+        controller = outcome.warp._controller()
+        controller._begin()
+        spec = patch_for("stored-xss")
+        controller.scripts.patch(spec.file, spec.build())
+        for run in controller.graph.runs_loading_file(spec.file, 0):
+            controller._escalate(run.run_id)
+        controller._process()
+        # Repair fully processed but not finalized: live view unchanged.
+        assert outcome.wiki.page_text(f"{victim}_notes") == attacked_text
+        controller._finalize()
+        assert "xss-attack-line" not in outcome.wiki.page_text(f"{victim}_notes")
+
+    def test_abort_is_a_perfect_noop_on_data(self):
+        outcome = run_scenario("stored-xss", n_users=6, n_victims=2)
+        before = {
+            user: outcome.wiki.page_text(f"{user}_notes")
+            for user in outcome.deployment.users
+        }
+        version_count = outcome.warp.ttdb.total_versions()
+
+        controller = outcome.warp._controller()
+        controller._begin()
+        spec = patch_for("stored-xss")
+        controller.scripts.patch(spec.file, spec.build())
+        for run in controller.graph.runs_loading_file(spec.file, 0):
+            controller._escalate(run.run_id)
+        controller._process()
+        controller._abort()
+
+        after = {
+            user: outcome.wiki.page_text(f"{user}_notes")
+            for user in outcome.deployment.users
+        }
+        assert before == after
+        assert outcome.warp.ttdb.total_versions() == version_count
+        assert outcome.warp.ttdb.repair_gen is None
+        assert outcome.warp.ttdb.current_gen == 0

@@ -1,0 +1,150 @@
+"""Unit tests for the jsmini interpreter."""
+
+import pytest
+
+from repro.browser.jsmini import Interpreter
+from repro.browser.jsmini.lexer import JsSyntaxError, tokenize
+from repro.browser.jsmini.parser import parse_program
+
+
+def run(source, extra_builtins=None):
+    log = []
+    builtins = {"log": log.append}
+    if extra_builtins:
+        builtins.update(extra_builtins)
+    interp = Interpreter(builtins)
+    interp.run(source)
+    return log, interp
+
+
+class TestBasics:
+    def test_var_and_log(self):
+        log, _ = run("var x = 1 + 2; log(x);")
+        assert log == [3]
+
+    def test_string_concat(self):
+        log, _ = run("var u = 'alice'; log(u + '_notes');")
+        assert log == ["alice_notes"]
+
+    def test_string_number_concat(self):
+        log, _ = run("log('v' + 2);")
+        assert log == ["v2"]
+
+    def test_assignment(self):
+        log, _ = run("var x = 1; x = x + 1; log(x);")
+        assert log == [2]
+
+    def test_assignment_to_undeclared_is_error(self):
+        log, interp = run("y = 1;")
+        assert interp.errors
+
+    def test_if_else(self):
+        log, _ = run("if (1 < 2) { log('yes'); } else { log('no'); }")
+        assert log == ["yes"]
+
+    def test_while_loop(self):
+        log, _ = run("var i = 0; while (i < 3) { log(i); i = i + 1; }")
+        assert log == [0, 1, 2]
+
+    def test_object_literal(self):
+        log, _ = run("log({'title': 'Home', count: 2});")
+        assert log == [{"title": "Home", "count": 2}]
+
+    def test_boolean_logic(self):
+        log, _ = run("log(true && false); log(true || false); log(!true);")
+        assert log == [False, True, False]
+
+    def test_equality(self):
+        log, _ = run("log(1 == 1); log('a' != 'b'); log(2 === 2);")
+        assert log == [True, True, True]
+
+    def test_comments(self):
+        log, _ = run("// line\n/* block */ log(1);")
+        assert log == [1]
+
+    def test_builtin_len_and_str(self):
+        log, _ = run("log(len('abcd')); log(str(5) + '!');")
+        assert log == [4, "5!"]
+
+
+class TestErrors:
+    def test_syntax_error_recorded_not_raised(self):
+        _, interp = run("var = ;")
+        assert interp.errors
+        assert "syntax" in interp.errors[0]
+
+    def test_undefined_variable(self):
+        _, interp = run("log(nope);")
+        assert interp.errors
+
+    def test_undefined_function(self):
+        _, interp = run("missiles();")
+        assert "undefined function" in interp.errors[0]
+
+    def test_division_by_zero(self):
+        _, interp = run("log(1 / 0);")
+        assert interp.errors
+
+    def test_runaway_loop_is_bounded(self):
+        _, interp = run("var i = 0; while (true) { i = i + 1; }")
+        assert any("budget" in err for err in interp.errors)
+
+    def test_error_stops_script_midway(self):
+        log, interp = run("log('before'); boom(); log('after');")
+        assert log == ["before"]
+        assert interp.errors
+
+    def test_host_exception_becomes_js_error(self):
+        def bad(_arg):
+            raise ValueError("host blew up")
+
+        _, interp = run("bad(1);", {"bad": bad})
+        assert "host blew up" in interp.errors[0]
+
+
+class TestAttackShapedScripts:
+    def test_xss_payload_shape(self):
+        """The stored-XSS payload: read the username from the DOM, then
+        post an append to that user's notes page."""
+        posts = []
+
+        def doc_text(selector):
+            assert selector == "#username"
+            return "alice"
+
+        def http_post(url, params):
+            posts.append((url, params))
+
+        run(
+            "var u = doc_text('#username');"
+            "http_post('/edit.php', {'title': u + '_notes', 'append': 'XSS-APPEND'});",
+            {"doc_text": doc_text, "http_post": http_post},
+        )
+        assert posts == [("/edit.php", {"title": "alice_notes", "append": "XSS-APPEND"})]
+
+    def test_csrf_payload_shape(self):
+        posts = []
+        run(
+            "http_post('http://wiki.test/login.php',"
+            " {'user': 'attacker', 'password': 'attpw', 'force': '1'});",
+            {"http_post": lambda url, params: posts.append((url, params))},
+        )
+        assert len(posts) == 1
+        assert posts[0][1]["user"] == "attacker"
+
+
+class TestLexer:
+    def test_tokenize_operators(self):
+        kinds = [t.value for t in tokenize("a && b || !c")[:-1]]
+        assert kinds == ["a", "&&", "b", "||", "!", "c"]
+
+    def test_string_escapes(self):
+        toks = tokenize(r"'a\'b\n'")
+        assert toks[0].value == "a'b\n"
+
+    def test_unterminated_string(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize("'oops")
+
+    def test_parse_cached(self):
+        assert parse_program("log(1);") is parse_program("log(1);")

@@ -1,0 +1,143 @@
+"""Unit tests for partition dependency analysis (paper §4.1)."""
+
+from repro.db.sql.parser import parse
+from repro.db.storage import Column, TableSchema
+from repro.ttdb.partitions import ModifiedPartitions, read_partitions
+
+
+SCHEMA = TableSchema(
+    name="pages",
+    columns=(Column("page_id", "int"), Column("title"), Column("editor"), Column("body")),
+    row_id_column="page_id",
+    partition_columns=("title", "editor"),
+)
+
+
+def rs(sql, params=()):
+    return read_partitions(parse(sql), params, SCHEMA)
+
+
+class TestReadPartitions:
+    def test_no_where_reads_all(self):
+        assert rs("SELECT * FROM pages").is_all
+
+    def test_equality_on_partition_column(self):
+        result = rs("SELECT * FROM pages WHERE title = 'Home'")
+        assert not result.is_all
+        assert result.disjuncts == (frozenset({("title", "Home")}),)
+
+    def test_param_equality(self):
+        result = rs("SELECT * FROM pages WHERE title = ?", ("Home",))
+        assert result.disjuncts == (frozenset({("title", "Home")}),)
+
+    def test_reversed_equality(self):
+        result = rs("SELECT * FROM pages WHERE 'Home' = title")
+        assert result.disjuncts == (frozenset({("title", "Home")}),)
+
+    def test_conjunction_of_partition_columns(self):
+        result = rs("SELECT * FROM pages WHERE title = 'A' AND editor = 'bob'")
+        assert result.disjuncts == (
+            frozenset({("title", "A"), ("editor", "bob")}),
+        )
+
+    def test_non_partition_predicate_widens_to_all(self):
+        assert rs("SELECT * FROM pages WHERE body = 'x'").is_all
+
+    def test_and_with_non_partition_predicate_keeps_constraint(self):
+        result = rs("SELECT * FROM pages WHERE title = 'A' AND body = 'x'")
+        assert result.disjuncts == (frozenset({("title", "A")}),)
+
+    def test_or_of_partition_constraints(self):
+        result = rs("SELECT * FROM pages WHERE title = 'A' OR title = 'B'")
+        assert set(result.disjuncts) == {
+            frozenset({("title", "A")}),
+            frozenset({("title", "B")}),
+        }
+
+    def test_or_with_unconstrained_side_is_all(self):
+        assert rs("SELECT * FROM pages WHERE title = 'A' OR body = 'x'").is_all
+
+    def test_in_list(self):
+        result = rs("SELECT * FROM pages WHERE title IN ('A', 'B')")
+        assert set(result.disjuncts) == {
+            frozenset({("title", "A")}),
+            frozenset({("title", "B")}),
+        }
+
+    def test_contradictory_conjunction_reads_nothing(self):
+        result = rs("SELECT * FROM pages WHERE title = 'A' AND title = 'B'")
+        assert result.disjuncts == ()
+
+    def test_update_where_analyzed(self):
+        result = rs("UPDATE pages SET body = 'x' WHERE title = 'A'")
+        assert result.disjuncts == (frozenset({("title", "A")}),)
+
+    def test_update_without_where_is_all(self):
+        assert rs("UPDATE pages SET body = 'x'").is_all
+
+    def test_insert_reads_nothing(self):
+        result = rs("INSERT INTO pages (page_id, title) VALUES (1, 'A')")
+        assert not result.is_all
+        assert result.disjuncts == ()
+
+    def test_like_is_all(self):
+        assert rs("SELECT * FROM pages WHERE title LIKE 'A%'").is_all
+
+    def test_no_partition_columns_is_all(self):
+        schema = TableSchema("t", (Column("a"),), partition_columns=())
+        assert read_partitions(parse("SELECT * FROM t WHERE a = 1"), (), schema).is_all
+
+
+class TestModifiedPartitions:
+    def test_empty_affects_nothing(self):
+        mods = ModifiedPartitions()
+        assert not mods.affects(rs("SELECT * FROM pages WHERE title = 'A'"), 100)
+        assert mods.is_empty()
+
+    def test_exact_key_match(self):
+        mods = ModifiedPartitions()
+        mods.record("pages", {("pages", "title", "A")}, ts=10)
+        assert mods.affects(rs("SELECT * FROM pages WHERE title = 'A'"), 10)
+        assert not mods.affects(rs("SELECT * FROM pages WHERE title = 'B'"), 10)
+
+    def test_time_filtering(self):
+        # A read at time 5 cannot observe a modification first made at 10.
+        mods = ModifiedPartitions()
+        mods.record("pages", {("pages", "title", "A")}, ts=10)
+        assert not mods.affects(rs("SELECT * FROM pages WHERE title = 'A'"), 5)
+        assert mods.affects(rs("SELECT * FROM pages WHERE title = 'A'"), 15)
+
+    def test_earliest_ts_wins(self):
+        mods = ModifiedPartitions()
+        mods.record("pages", {("pages", "title", "A")}, ts=10)
+        mods.record("pages", {("pages", "title", "A")}, ts=4)
+        assert mods.affects(rs("SELECT * FROM pages WHERE title = 'A'"), 5)
+
+    def test_all_reader_affected_by_any_modification(self):
+        mods = ModifiedPartitions()
+        mods.record("pages", {("pages", "editor", "bob")}, ts=10)
+        assert mods.affects(rs("SELECT * FROM pages"), 10)
+
+    def test_whole_table_modification_affects_constrained_reader(self):
+        mods = ModifiedPartitions()
+        mods.record_all("pages", ts=10)
+        assert mods.affects(rs("SELECT * FROM pages WHERE title = 'zzz'"), 10)
+
+    def test_conjunction_requires_all_keys(self):
+        mods = ModifiedPartitions()
+        mods.record("pages", {("pages", "title", "A")}, ts=10)
+        both = rs("SELECT * FROM pages WHERE title = 'A' AND editor = 'bob'")
+        assert not mods.affects(both, 10)
+        mods.record("pages", {("pages", "editor", "bob")}, ts=10)
+        assert mods.affects(both, 10)
+
+    def test_other_table_not_affected(self):
+        mods = ModifiedPartitions()
+        mods.record("users", {("users", "name", "bob")}, ts=10)
+        assert not mods.affects(rs("SELECT * FROM pages"), 10)
+
+    def test_affects_keys_for_writers(self):
+        mods = ModifiedPartitions()
+        mods.record("pages", {("pages", "title", "A")}, ts=10)
+        assert mods.affects_keys("pages", {("pages", "title", "A")}, 10)
+        assert not mods.affects_keys("pages", {("pages", "title", "B")}, 10)

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browser.html import escape_attr, escape_text, parse_html, serialize, unescape
+from repro.browser.merge import MergeConflict, three_way_merge
+from repro.core.clock import INFINITY
+from repro.db.executor import ExecContext, Executor
+from repro.db.sql.parser import parse
+from repro.db.storage import Column, Database, TableSchema
+from repro.ttdb.timetravel import TimeTravelDB, split_statements
+from repro.core.clock import LogicalClock
+
+# -- text strategies -----------------------------------------------------------
+
+texts = st.text(alphabet=string.ascii_letters + string.digits + " \n'<>&\"", max_size=120)
+lines = st.lists(
+    st.text(alphabet=string.ascii_letters + " ", min_size=1, max_size=12),
+    min_size=0,
+    max_size=8,
+).map(lambda ls: "\n".join(ls))
+
+
+class TestMergeProperties:
+    @given(base=lines, theirs=lines)
+    def test_no_user_change_returns_theirs(self, base, theirs):
+        assert three_way_merge(base, base, theirs) == theirs
+
+    @given(base=lines, ours=lines)
+    def test_no_repair_change_returns_ours(self, base, ours):
+        assert three_way_merge(base, ours, base) == ours
+
+    @given(base=lines, both=lines)
+    def test_identical_changes_agree(self, base, both):
+        assert three_way_merge(base, both, both) == both
+
+    @given(base=lines, suffix=st.text(alphabet=string.ascii_letters, min_size=1, max_size=10))
+    def test_user_append_survives_attack_line_removal(self, base, suffix):
+        # attacked = base + attack line; user appends after it; repair
+        # removes the attack line: the merge keeps base + user's line.
+        attacked = base + "\nATTACK"
+        ours = attacked + "\n" + suffix
+        try:
+            merged = three_way_merge(attacked, ours, base)
+        except MergeConflict:
+            return  # conflicts are allowed, silently wrong merges are not
+        assert "ATTACK" not in merged
+        assert merged.endswith(suffix)
+
+    @given(base=lines, ours=lines, theirs=lines)
+    def test_merge_never_crashes_unexpectedly(self, base, ours, theirs):
+        try:
+            merged = three_way_merge(base, ours, theirs)
+        except MergeConflict:
+            return
+        assert isinstance(merged, str)
+
+
+class TestHtmlProperties:
+    @given(text=texts)
+    def test_escape_roundtrip(self, text):
+        assert unescape(escape_text(text)) == text
+
+    @given(text=texts)
+    def test_attr_escape_roundtrip(self, text):
+        assert unescape(escape_attr(text)) == text
+
+    @given(text=texts)
+    def test_escaped_text_never_creates_elements(self, text):
+        doc = parse_html(f"<p>{escape_text(text)}</p>")
+        p = doc.select("p")
+        assert p is not None
+        assert [el.tag for el in p.iter() if el is not p] == []
+
+    @given(text=texts)
+    def test_text_content_preserved_through_serialize(self, text):
+        doc = parse_html(f"<div>{escape_text(text)}</div>")
+        again = parse_html(serialize(doc.root))
+        assert again.select("div").text_content() == doc.select("div").text_content()
+
+
+values = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.text(alphabet=string.ascii_letters, max_size=10),
+)
+
+
+class TestVersionedStorageProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=5), values), max_size=12
+        )
+    )
+    def test_time_travel_reads_reconstruct_history(self, writes):
+        """After any sequence of upserts, reading at each recorded time
+        returns exactly the value that was current then."""
+        db = Database()
+        clock = LogicalClock()
+        tt = TimeTravelDB(db, clock)
+        tt.create_table(
+            TableSchema(
+                "kv",
+                (Column("k", "int"), Column("v")),
+                row_id_column="k",
+                partition_columns=("k",),
+            )
+        )
+        state = {}
+        history = []  # (ts, snapshot-of-state)
+        for key, value in writes:
+            if key in state:
+                res = tt.execute("UPDATE kv SET v = ? WHERE k = ?", (value, key))
+            else:
+                res = tt.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, value))
+            state[key] = value
+            history.append((res.ts, dict(state)))
+
+        tt.clock.advance(5)
+        tt.begin_repair()  # execute_at needs an active repair generation
+        for ts, snapshot in history:
+            for key, expected in snapshot.items():
+                res = tt.execute_at("SELECT v FROM kv WHERE k = ?", (key,), ts=ts)
+                assert res.one() == {"v": expected}
+        tt.abort_repair()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=5), values),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_abort_repair_is_identity(self, writes):
+        """Any mixture of repair-generation writes + rollbacks aborts to
+        the exact pre-repair version set."""
+        db = Database()
+        tt = TimeTravelDB(db, LogicalClock())
+        tt.create_table(
+            TableSchema("kv", (Column("k", "int"), Column("v")), row_id_column="k")
+        )
+        for key, value in writes:
+            tt.execute(
+                "INSERT INTO kv (k, v) VALUES (?, ?)", (key * 100, value)
+            )
+        def fingerprint():
+            return sorted(
+                repr(
+                    (v.row_id, tuple(sorted(v.data.items())), v.start_ts, v.end_ts,
+                     v.start_gen, v.end_gen)
+                )
+                for v in db.table("kv").all_versions()
+            )
+
+        before = fingerprint()
+        tt.clock.advance(3)
+        tt.begin_repair()
+        for index, (key, value) in enumerate(writes):
+            if index % 2 == 0:
+                tt.execute_at(
+                    "UPDATE kv SET v = 'mutated' WHERE k = ?", (key * 100,), ts=index + 1
+                )
+            else:
+                tt.rollback_row("kv", key * 100, index + 1)
+        tt.abort_repair()
+        assert fingerprint() == before
+
+
+class TestSqlProperties:
+    @given(value=st.text(alphabet=string.ascii_letters + " ';--", max_size=30))
+    def test_parameterised_strings_never_inject(self, value):
+        """A ? parameter can never smuggle in extra statements."""
+        db = Database()
+        tt = TimeTravelDB(db, LogicalClock())
+        tt.create_table(TableSchema("t", (Column("a"),)))
+        tt.execute("INSERT INTO t (a) VALUES (?)", (value,))
+        rows = tt.execute("SELECT a FROM t").rows
+        assert rows == [{"a": value}]
+
+    @given(value=st.text(alphabet=string.ascii_letters + "'; -", max_size=30))
+    def test_split_statements_respects_quotes(self, value):
+        quoted = value.replace("'", "''")
+        pieces = split_statements(f"SELECT * FROM t WHERE a = '{quoted}'")
+        assert len(pieces) <= 2  # payload may contain ; only outside quotes
+
+    @given(n=st.integers(min_value=0, max_value=50))
+    def test_count_matches_inserts(self, n):
+        db = Database()
+        tt = TimeTravelDB(db, LogicalClock())
+        tt.create_table(TableSchema("t", (Column("a", "int"),)))
+        for index in range(n):
+            tt.execute("INSERT INTO t (a) VALUES (?)", (index,))
+        assert tt.execute("SELECT COUNT(*) FROM t").scalar() == n

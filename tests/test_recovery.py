@@ -1,0 +1,202 @@
+"""End-to-end intrusion recovery tests: the six scenarios of Table 2/3.
+
+Each test stages an attack amid legitimate traffic, repairs (retroactive
+patch or admin-initiated undo), and asserts the paper's ground truth:
+attack effects gone, legitimate changes preserved, and the exact conflict
+counts of Table 3.
+"""
+
+import pytest
+
+from repro.workload.scenarios import WIKI, XSS_APPEND, run_scenario
+
+
+def distinct_conflict_clients(result):
+    return {c.client_id for c in result.conflicts}
+
+
+class TestStoredXss:
+    @pytest.fixture(scope="class")
+    def repaired(self):
+        outcome = run_scenario("stored-xss", n_users=8, n_victims=3)
+        # Pre-repair sanity: the attack actually fired.
+        for victim in outcome.victims:
+            text = outcome.wiki.page_text(f"{victim}_notes")
+            assert "xss-attack-line" in text
+        result = outcome.repair()
+        return outcome, result
+
+    def test_attack_text_removed_from_victim_pages(self, repaired):
+        outcome, _ = repaired
+        for victim in outcome.victims:
+            assert "xss-attack-line" not in outcome.wiki.page_text(f"{victim}_notes")
+
+    def test_victim_legit_edits_preserved(self, repaired):
+        outcome, _ = repaired
+        for victim in outcome.victims:
+            assert outcome.legit_appends[victim] in outcome.wiki.page_text(
+                f"{victim}_notes"
+            )
+
+    def test_bystander_edits_preserved(self, repaired):
+        outcome, _ = repaired
+        for user, text in outcome.legit_appends.items():
+            if user in outcome.bystanders:
+                assert text in outcome.wiki.page_text(f"{user}_notes")
+
+    def test_block_page_now_escaped(self, repaired):
+        outcome, _ = repaired
+        browser = outcome.warp.client("post-repair-checker")
+        visit = browser.open(f"{WIKI}/special_block.php?ip=6.6.6.6")
+        assert not visit.document.scripts()
+
+    def test_zero_conflicts(self, repaired):
+        _, result = repaired
+        assert distinct_conflict_clients(result) == set()
+
+    def test_repair_completed(self, repaired):
+        _, result = repaired
+        assert result.ok and not result.aborted
+
+
+class TestReflectedXss:
+    @pytest.fixture(scope="class")
+    def repaired(self):
+        outcome = run_scenario("reflected-xss", n_users=8, n_victims=3)
+        for victim in outcome.victims:
+            assert "xss-attack-line" in outcome.wiki.page_text(f"{victim}_notes")
+        result = outcome.repair()
+        return outcome, result
+
+    def test_attack_text_removed(self, repaired):
+        outcome, _ = repaired
+        for victim in outcome.victims:
+            assert "xss-attack-line" not in outcome.wiki.page_text(f"{victim}_notes")
+
+    def test_victim_edits_preserved(self, repaired):
+        outcome, _ = repaired
+        for victim in outcome.victims:
+            assert outcome.legit_appends[victim] in outcome.wiki.page_text(
+                f"{victim}_notes"
+            )
+
+    def test_zero_conflicts(self, repaired):
+        _, result = repaired
+        assert distinct_conflict_clients(result) == set()
+
+
+class TestSqlInjection:
+    @pytest.fixture(scope="class")
+    def repaired(self):
+        outcome = run_scenario("sql-injection", n_users=8, n_victims=3)
+        assert outcome.wiki.page_text("Main_Page").endswith("attack")
+        result = outcome.repair()
+        return outcome, result
+
+    def test_injected_suffix_removed_everywhere(self, repaired):
+        outcome, _ = repaired
+        assert "attack" not in outcome.wiki.page_text("Main_Page")
+        for user in outcome.deployment.users:
+            assert "attack" not in outcome.wiki.page_text(f"{user}_notes")
+
+    def test_legit_edits_preserved(self, repaired):
+        outcome, _ = repaired
+        for user, text in outcome.legit_appends.items():
+            assert text in outcome.wiki.page_text(f"{user}_notes")
+
+    def test_zero_conflicts(self, repaired):
+        _, result = repaired
+        assert distinct_conflict_clients(result) == set()
+
+
+class TestCsrf:
+    @pytest.fixture(scope="class")
+    def repaired(self):
+        outcome = run_scenario("csrf", n_users=8, n_victims=3)
+        # Pre-repair: victims' edits landed, attributed to the attacker.
+        text = outcome.wiki.page_text("Projects")
+        for victim in outcome.victims:
+            assert f"csrf-edit-{victim}" in text
+        assert outcome.wiki.page_editor("Projects") == "attacker"
+        result = outcome.repair()
+        return outcome, result
+
+    def test_victim_edits_reattributed(self, repaired):
+        outcome, _ = repaired
+        text = outcome.wiki.page_text("Projects")
+        for victim in outcome.victims:
+            assert f"csrf-edit-{victim}" in text
+        # The final edit is now attributed to the victim who made it.
+        assert outcome.wiki.page_editor("Projects") in outcome.victims
+
+    def test_attacker_sessions_removed(self, repaired):
+        outcome, _ = repaired
+        rows = outcome.warp.ttdb.execute(
+            "SELECT user_name FROM sessions WHERE user_name = 'attacker'"
+        ).rows
+        # Only the attacker's own login survives (from planting the attack).
+        assert len(rows) <= 1
+
+    def test_victim_cookies_queued_for_invalidation(self, repaired):
+        outcome, _ = repaired
+        invalidated = outcome.warp.server.cookie_invalidation
+        for victim in outcome.victims:
+            assert outcome.deployment.client_id(victim) in invalidated
+
+    def test_zero_conflicts(self, repaired):
+        _, result = repaired
+        assert distinct_conflict_clients(result) == set()
+
+
+class TestClickjacking:
+    @pytest.fixture(scope="class")
+    def repaired(self):
+        outcome = run_scenario("clickjacking", n_users=8, n_victims=3)
+        assert "clickjacked spam" in outcome.wiki.page_text("Projects")
+        result = outcome.repair()
+        return outcome, result
+
+    def test_three_victims_have_conflicts(self, repaired):
+        outcome, result = repaired
+        expected = {outcome.deployment.client_id(v) for v in outcome.victims}
+        assert distinct_conflict_clients(result) == expected
+
+    def test_resolving_conflicts_by_cancel_removes_spam(self, repaired):
+        outcome, result = repaired
+        for conflict in list(outcome.warp.conflicts.pending()):
+            outcome.warp.resolve_conflict_by_cancel(conflict)
+        assert "clickjacked spam" not in outcome.wiki.page_text("Projects")
+
+    def test_bystander_edits_survive_resolution(self, repaired):
+        outcome, _ = repaired
+        for user, text in outcome.legit_appends.items():
+            assert text in outcome.wiki.page_text(f"{user}_notes")
+
+
+class TestAclError:
+    @pytest.fixture(scope="class")
+    def repaired(self):
+        outcome = run_scenario("acl-error", n_users=8)
+        assert outcome.wiki.page_text("Secret") == "mallory took over this page"
+        result = outcome.repair()
+        return outcome, result
+
+    def test_unauthorized_edit_reverted(self, repaired):
+        outcome, _ = repaired
+        assert outcome.wiki.page_text("Secret") == "restricted plans"
+
+    def test_grant_removed(self, repaired):
+        outcome, _ = repaired
+        assert outcome.victims[0] not in outcome.wiki.acl_users("Secret")
+
+    def test_exactly_one_conflict_for_mallory(self, repaired):
+        outcome, result = repaired
+        mallory = outcome.victims[0]
+        assert distinct_conflict_clients(result) == {
+            outcome.deployment.client_id(mallory)
+        }
+
+    def test_bystander_edits_preserved(self, repaired):
+        outcome, _ = repaired
+        for user, text in outcome.legit_appends.items():
+            assert text in outcome.wiki.page_text(f"{user}_notes")

@@ -1,0 +1,102 @@
+"""Unit tests for replay-time cookie plumbing (paper §5.3): initial jar
+construction, divergence tracking, and invalidation queueing."""
+
+import pytest
+
+from repro.ahg.records import VisitRecord
+from repro.repair.replay import BrowserReplayer, ReplayConfig
+from repro.workload.scenarios import WIKI, WikiDeployment
+
+
+class FakeClone:
+    def __init__(self, jar):
+        self._jar = jar
+
+    def jar_snapshot(self):
+        return {origin: dict(values) for origin, values in self._jar.items()}
+
+
+class FakeSession:
+    client_id = "c1"
+
+
+def make_replayer():
+    deployment = WikiDeployment(n_users=2)
+    controller = deployment.warp._controller()
+    return BrowserReplayer(controller, ReplayConfig())
+
+
+class TestInitialJar:
+    def test_uses_recorded_pre_visit_cookies(self):
+        replayer = make_replayer()
+        visit = VisitRecord(
+            "c1", 1, ts=5, url="/x",
+            cookies_before={WIKI: {"sess": "orig-token"}},
+        )
+        assert replayer._initial_jar(visit) == {WIKI: {"sess": "orig-token"}}
+
+    def test_overrides_take_precedence(self):
+        replayer = make_replayer()
+        replayer.cookie_overrides["c1"] = {WIKI: {"sess": "repaired-token"}}
+        visit = VisitRecord(
+            "c1", 1, ts=5, url="/x",
+            cookies_before={WIKI: {"sess": "orig-token", "theme": "dark"}},
+        )
+        jar = replayer._initial_jar(visit)
+        assert jar[WIKI]["sess"] == "repaired-token"
+        assert jar[WIKI]["theme"] == "dark"
+
+    def test_none_override_deletes_cookie(self):
+        replayer = make_replayer()
+        replayer.cookie_overrides["c1"] = {WIKI: {"sess": None}}
+        visit = VisitRecord(
+            "c1", 1, ts=5, url="/x",
+            cookies_before={WIKI: {"sess": "orig-token"}},
+        )
+        assert "sess" not in replayer._initial_jar(visit)[WIKI]
+
+
+class TestDivergenceTracking:
+    def test_identical_outcome_records_nothing(self):
+        replayer = make_replayer()
+        visit = VisitRecord(
+            "c1", 1, ts=5, url="/x",
+            cookies_after={WIKI: {"sess": "same"}},
+        )
+        clone = FakeClone({WIKI: {"sess": "same"}})
+        replayer._note_cookie_divergence(clone, FakeSession(), visit)
+        assert "c1" not in replayer.diverged_clients
+
+    def test_changed_cookie_recorded_as_override(self):
+        replayer = make_replayer()
+        visit = VisitRecord(
+            "c1", 1, ts=5, url="/x",
+            cookies_after={WIKI: {"sess": "hijacked"}},
+        )
+        clone = FakeClone({WIKI: {"sess": "honest"}})
+        replayer._note_cookie_divergence(clone, FakeSession(), visit)
+        assert replayer.cookie_overrides["c1"][WIKI]["sess"] == "honest"
+        assert "c1" in replayer.diverged_clients
+
+    def test_cookie_absent_after_replay_recorded_as_deletion(self):
+        replayer = make_replayer()
+        visit = VisitRecord(
+            "c1", 1, ts=5, url="/x",
+            cookies_after={WIKI: {"sess": "was-set"}},
+        )
+        clone = FakeClone({})
+        replayer._note_cookie_divergence(clone, FakeSession(), visit)
+        assert replayer.cookie_overrides["c1"][WIKI]["sess"] is None
+
+    def test_divergence_flows_to_server_invalidation(self):
+        """End-to-end: the CSRF repair queues exactly the diverged clients
+        (asserted at unit level elsewhere; here via the facade)."""
+        from repro.workload.scenarios import run_scenario
+
+        outcome = run_scenario("csrf", n_users=6, n_victims=2)
+        outcome.repair()
+        invalidated = outcome.warp.server.cookie_invalidation
+        expected = {
+            outcome.deployment.client_id(v) for v in outcome.victims
+        }
+        assert expected <= invalidated

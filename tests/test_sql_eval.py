@@ -1,0 +1,156 @@
+"""Unit tests for SQL expression evaluation."""
+
+import pytest
+
+from repro.core.errors import SqlError
+from repro.db.sql.eval import evaluate, truthy
+from repro.db.sql.parser import parse
+
+
+def eval_where(sql_where, row, params=()):
+    stmt = parse(f"SELECT * FROM t WHERE {sql_where}")
+    return evaluate(stmt.where, row, params)
+
+
+def eval_expr(sql_expr, row, params=()):
+    stmt = parse(f"SELECT {sql_expr} FROM t")
+    return evaluate(stmt.items[0].expr, row, params)
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert eval_where("a = 1", {"a": 1}) is True
+        assert eval_where("a = 1", {"a": 2}) is False
+
+    def test_inequality(self):
+        assert eval_where("a != 'x'", {"a": "y"}) is True
+
+    def test_ordering(self):
+        assert eval_where("a < 5", {"a": 3}) is True
+        assert eval_where("a >= 5", {"a": 5}) is True
+
+    def test_null_comparison_is_null(self):
+        assert eval_where("a = 1", {"a": None}) is None
+
+    def test_incompatible_comparison_raises(self):
+        with pytest.raises(SqlError):
+            eval_where("a < 'x'", {"a": 1})
+
+
+class TestBooleanLogic:
+    def test_and(self):
+        assert eval_where("a = 1 AND b = 2", {"a": 1, "b": 2}) is True
+        assert eval_where("a = 1 AND b = 2", {"a": 1, "b": 3}) is False
+
+    def test_or(self):
+        assert eval_where("a = 1 OR b = 2", {"a": 0, "b": 2}) is True
+
+    def test_not(self):
+        assert eval_where("NOT a = 1", {"a": 2}) is True
+
+    def test_and_short_circuit_false(self):
+        # False AND NULL is False, not NULL.
+        assert eval_where("a = 1 AND b = 2", {"a": 0, "b": None}) is False
+
+    def test_or_with_null_true_side(self):
+        assert eval_where("a = 1 OR b = 2", {"a": 1, "b": None}) is True
+
+    def test_null_and_true_is_null(self):
+        assert eval_where("a = 1 AND b = 2", {"a": None, "b": 2}) is None
+
+    def test_truthy_boundary(self):
+        assert truthy(True)
+        assert not truthy(None)
+        assert not truthy(False)
+
+
+class TestArithmeticAndStrings:
+    def test_addition(self):
+        assert eval_expr("a + 1", {"a": 4}) == 5
+
+    def test_precedence(self):
+        assert eval_expr("1 + 2 * 3", {}) == 7
+
+    def test_integer_division(self):
+        assert eval_expr("7 / 2", {}) == 3
+
+    def test_float_division(self):
+        assert eval_expr("7.0 / 2", {}) == pytest.approx(3.5)
+
+    def test_division_by_zero_is_null(self):
+        assert eval_expr("1 / 0", {}) is None
+
+    def test_modulo(self):
+        assert eval_expr("7 % 3", {}) == 1
+
+    def test_unary_minus(self):
+        assert eval_expr("-a", {"a": 5}) == -5
+
+    def test_concat(self):
+        assert eval_expr("a || '-suffix'", {"a": "page"}) == "page-suffix"
+
+    def test_concat_coerces_numbers(self):
+        assert eval_expr("'v' || 2", {}) == "v2"
+
+    def test_concat_null_is_null(self):
+        assert eval_expr("a || 'x'", {"a": None}) is None
+
+
+class TestPredicates:
+    def test_in(self):
+        assert eval_where("a IN (1, 2)", {"a": 2}) is True
+        assert eval_where("a IN (1, 2)", {"a": 3}) is False
+
+    def test_not_in(self):
+        assert eval_where("a NOT IN (1, 2)", {"a": 3}) is True
+
+    def test_in_with_null_member_unmatched(self):
+        assert eval_where("a IN (1, NULL)", {"a": 3}) is None
+
+    def test_like_percent(self):
+        assert eval_where("a LIKE 'wiki%'", {"a": "wikipage"}) is True
+        assert eval_where("a LIKE 'wiki%'", {"a": "my-wiki"}) is False
+
+    def test_like_underscore(self):
+        assert eval_where("a LIKE 'p_ge'", {"a": "page"}) is True
+
+    def test_like_escapes_regex_chars(self):
+        assert eval_where("a LIKE 'a.b'", {"a": "a.b"}) is True
+        assert eval_where("a LIKE 'a.b'", {"a": "axb"}) is False
+
+    def test_between(self):
+        assert eval_where("a BETWEEN 1 AND 5", {"a": 3}) is True
+        assert eval_where("a BETWEEN 1 AND 5", {"a": 6}) is False
+
+    def test_is_null(self):
+        assert eval_where("a IS NULL", {"a": None}) is True
+        assert eval_where("a IS NOT NULL", {"a": 1}) is True
+
+
+class TestParams:
+    def test_param_substitution(self):
+        assert eval_where("a = ?", {"a": 7}, params=(7,)) is True
+
+    def test_missing_param_raises(self):
+        with pytest.raises(SqlError):
+            eval_where("a = ?", {"a": 7}, params=())
+
+
+class TestFunctions:
+    def test_lower_upper(self):
+        assert eval_expr("LOWER(a)", {"a": "ABC"}) == "abc"
+        assert eval_expr("UPPER(a)", {"a": "abc"}) == "ABC"
+
+    def test_length(self):
+        assert eval_expr("LENGTH(a)", {"a": "abcd"}) == 4
+
+    def test_coalesce(self):
+        assert eval_expr("COALESCE(a, 'dflt')", {"a": None}) == "dflt"
+        assert eval_expr("COALESCE(a, 'dflt')", {"a": "v"}) == "v"
+
+    def test_substr(self):
+        assert eval_expr("SUBSTR(a, 2, 3)", {"a": "abcdef"}) == "bcd"
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SqlError):
+            eval_expr("nope", {"a": 1})

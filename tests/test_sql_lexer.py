@@ -1,0 +1,90 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.core.errors import SqlError
+from repro.db.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [tok.kind for tok in tokenize(sql)]
+
+
+def values(sql):
+    return [tok.value for tok in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_simple_select(self):
+        toks = tokenize("SELECT a FROM t")
+        assert [t.kind for t in toks] == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "EOF"]
+
+    def test_keywords_case_insensitive(self):
+        assert values("select") == ["SELECT"]
+        assert values("SeLeCt") == ["SELECT"]
+
+    def test_identifiers_preserve_case(self):
+        assert values("PageContent") == ["PageContent"]
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind == "NUMBER"
+        assert toks[0].value == 42
+        assert isinstance(toks[0].value, int)
+
+    def test_float_literal(self):
+        toks = tokenize("4.25")
+        assert toks[0].value == pytest.approx(4.25)
+        assert isinstance(toks[0].value, float)
+
+    def test_string_literal(self):
+        toks = tokenize("'hello world'")
+        assert toks[0].kind == "STRING"
+        assert toks[0].value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_concat_operator(self):
+        assert values("a || b") == ["a", "||", "b"]
+
+    def test_not_equal_variants(self):
+        assert values("a <> b") == ["a", "<>", "b"]
+        assert values("a != b") == ["a", "!=", "b"]
+
+    def test_comparison_operators(self):
+        assert values("< <= > >= =") == ["<", "<=", ">", ">=", "="]
+
+    def test_question_mark_param(self):
+        toks = tokenize("WHERE a = ?")
+        assert toks[3].is_op("?")
+
+    def test_line_comment_skipped(self):
+        assert values("SELECT -- comment here\n a") == ["SELECT", "a"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @")
+
+    def test_underscore_identifier(self):
+        assert values("old_text") == ["old_text"]
+
+    def test_dotted_name_tokens(self):
+        assert values("t.col") == ["t", ".", "col"]
+
+    def test_eof_token_always_last(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("a")[-1].kind == "EOF"
+
+    def test_is_keyword_helper(self):
+        tok = Token("KEYWORD", "SELECT", 0)
+        assert tok.is_keyword("SELECT")
+        assert not tok.is_keyword("FROM")

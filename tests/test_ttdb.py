@@ -1,0 +1,202 @@
+"""Tests for the time-travel database facade: versioning, generations,
+rollback, abort, GC, and the multi-statement (injection) path."""
+
+import pytest
+
+from repro.core.clock import INFINITY, LogicalClock
+from repro.core.errors import RepairError
+from repro.db.storage import Column, Database, TableSchema
+from repro.ttdb.timetravel import TimeTravelDB, split_statements
+
+
+def make_ttdb(enabled=True):
+    db = Database()
+    clock = LogicalClock()
+    tt = TimeTravelDB(db, clock, enabled=enabled)
+    tt.create_table(
+        TableSchema(
+            name="pages",
+            columns=(Column("page_id", "int"), Column("title"), Column("body")),
+            row_id_column="page_id",
+            partition_columns=("title",),
+        )
+    )
+    return tt
+
+
+class TestNormalExecution:
+    def test_insert_select_roundtrip(self):
+        tt = make_ttdb()
+        tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'v1')")
+        res = tt.execute("SELECT body FROM pages WHERE title = ?", ("A",))
+        assert res.rows == [{"body": "v1"}]
+        assert res.read_set.disjuncts == (frozenset({("title", "A")}),)
+
+    def test_timestamps_strictly_increase(self):
+        tt = make_ttdb()
+        a = tt.execute("INSERT INTO pages (page_id, title) VALUES (1, 'A')")
+        b = tt.execute("SELECT * FROM pages")
+        assert b.ts > a.ts
+
+    def test_helpers_one_and_scalar(self):
+        tt = make_ttdb()
+        tt.execute("INSERT INTO pages (page_id, title) VALUES (1, 'A')")
+        assert tt.execute("SELECT COUNT(*) FROM pages").scalar() == 1
+        assert tt.execute("SELECT title FROM pages").one() == {"title": "A"}
+        assert tt.execute("SELECT * FROM pages WHERE title = 'zz'").one() is None
+
+    def test_full_table_write_flagged(self):
+        tt = make_ttdb()
+        tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'x')")
+        res = tt.execute("UPDATE pages SET body = body || '!'")
+        assert res.full_table_write
+        res2 = tt.execute("UPDATE pages SET body = 'y' WHERE title = 'A'")
+        assert not res2.full_table_write
+
+
+class TestScriptExecution:
+    def test_split_statements(self):
+        parts = split_statements("SELECT * FROM a; UPDATE b SET x = 1;")
+        assert parts == ["SELECT * FROM a", "UPDATE b SET x = 1"]
+
+    def test_split_respects_strings(self):
+        parts = split_statements("SELECT * FROM a WHERE x = 'a;b'; SELECT * FROM c")
+        assert len(parts) == 2
+        assert "a;b" in parts[0]
+
+    def test_split_drops_pure_comment_pieces(self):
+        parts = split_statements("SELECT * FROM a; -- nothing here")
+        assert parts == ["SELECT * FROM a"]
+
+    def test_injection_piggyback_executes(self):
+        # The §8.5 SQL-injection payload: a second statement rides along.
+        tt = make_ttdb()
+        tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'text')")
+        results = tt.execute_script(
+            "SELECT * FROM pages WHERE title = 'en'; "
+            "UPDATE pages SET body = body || 'attack'"
+        )
+        assert len(results) == 2
+        assert tt.execute("SELECT body FROM pages").one()["body"] == "textattack"
+
+
+class TestRepairGenerations:
+    def test_begin_repair_increments_generation(self):
+        tt = make_ttdb()
+        gen = tt.begin_repair()
+        assert gen == 1
+        assert tt.current_gen == 0
+
+    def test_cannot_begin_twice(self):
+        tt = make_ttdb()
+        tt.begin_repair()
+        with pytest.raises(RepairError):
+            tt.begin_repair()
+
+    def test_repair_requires_enabled(self):
+        tt = make_ttdb(enabled=False)
+        with pytest.raises(RepairError):
+            tt.begin_repair()
+
+    def test_execute_at_requires_repair(self):
+        tt = make_ttdb()
+        with pytest.raises(RepairError):
+            tt.execute_at("SELECT * FROM pages", (), ts=1)
+
+    def test_repair_then_finalize_switches_view(self):
+        tt = make_ttdb()
+        first = tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'bad')")
+        tt.begin_repair()
+        tt.execute_at("UPDATE pages SET body = 'good' WHERE page_id = 1", (), ts=first.ts)
+        # Live view unchanged during repair.
+        assert tt.execute("SELECT body FROM pages").one()["body"] == "bad"
+        tt.finalize_repair()
+        assert tt.execute("SELECT body FROM pages").one()["body"] == "good"
+
+    def test_abort_restores_exact_state(self):
+        tt = make_ttdb()
+        first = tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'v1')")
+        tt.execute("UPDATE pages SET body = 'v2' WHERE page_id = 1")
+        before = tt.database.table("pages").version_count
+        tt.begin_repair()
+        tt.rollback_row("pages", 1, first.ts + 1)
+        tt.execute_at("UPDATE pages SET body = 'repaired' WHERE page_id = 1", (), ts=first.ts + 1)
+        tt.abort_repair()
+        assert tt.database.table("pages").version_count == before
+        assert tt.execute("SELECT body FROM pages").one()["body"] == "v2"
+        # History intact too: read at the old time still sees v1.
+        versions = tt.database.table("pages").row_versions(1)
+        assert any(v.data["body"] == "v1" for v in versions)
+
+    def test_rollback_restores_older_value_in_repair_gen(self):
+        tt = make_ttdb()
+        tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'v1')")
+        second = tt.execute("UPDATE pages SET body = 'v2' WHERE page_id = 1")
+        tt.begin_repair()
+        touched = tt.rollback_row("pages", 1, second.ts)
+        assert ("pages", "title", "A") in touched
+        tt.finalize_repair()
+        assert tt.execute("SELECT body FROM pages").one()["body"] == "v1"
+
+    def test_rollback_of_row_created_after_ts_removes_it(self):
+        tt = make_ttdb()
+        created = tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'x')")
+        tt.begin_repair()
+        tt.rollback_row("pages", 1, created.ts)
+        tt.finalize_repair()
+        assert tt.execute("SELECT * FROM pages").rows == []
+
+    def test_live_generation_sees_no_repair_effects_mid_repair(self):
+        tt = make_ttdb()
+        created = tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'x')")
+        tt.begin_repair()
+        tt.rollback_row("pages", 1, created.ts)
+        assert len(tt.execute("SELECT * FROM pages").rows) == 1
+
+    def test_historical_read_during_repair_uses_continuous_versioning(self):
+        # Re-executed reads on untouched rows see the value from *their*
+        # original time (paper §4.2).
+        tt = make_ttdb()
+        tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'v1')")
+        mid = tt.execute("SELECT * FROM pages")
+        tt.execute("UPDATE pages SET body = 'v2' WHERE page_id = 1")
+        tt.begin_repair()
+        res = tt.execute_at("SELECT body FROM pages WHERE title = 'A'", (), ts=mid.ts)
+        assert res.one()["body"] == "v1"
+
+    def test_second_repair_round_trip(self):
+        tt = make_ttdb()
+        first = tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'v1')")
+        tt.clock.advance(10)  # repairs below re-execute at *historical* times
+        tt.begin_repair()
+        tt.execute_at("UPDATE pages SET body = 'r1' WHERE page_id = 1", (), ts=first.ts + 1)
+        tt.finalize_repair()
+        tt.begin_repair()
+        tt.execute_at("UPDATE pages SET body = 'r2' WHERE page_id = 1", (), ts=first.ts + 2)
+        tt.finalize_repair()
+        assert tt.current_gen == 2
+        assert tt.execute("SELECT body FROM pages").one()["body"] == "r2"
+
+
+class TestGc:
+    def test_gc_drops_old_versions(self):
+        tt = make_ttdb()
+        tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'v1')")
+        for i in range(5):
+            tt.execute("UPDATE pages SET body = ? WHERE page_id = 1", (f"v{i+2}",))
+        horizon = tt.clock.now() + 1
+        removed = tt.gc(horizon)
+        assert removed == 5
+        assert tt.execute("SELECT body FROM pages").one()["body"] == "v6"
+
+    def test_gc_drops_superseded_generations(self):
+        tt = make_ttdb()
+        first = tt.execute("INSERT INTO pages (page_id, title, body) VALUES (1, 'A', 'v1')")
+        tt.begin_repair()
+        tt.execute_at("UPDATE pages SET body = 'fixed' WHERE page_id = 1", (), ts=first.ts + 1)
+        tt.finalize_repair()
+        tt.gc(0)
+        # Old-generation fenced versions are gone; repaired value remains.
+        assert tt.execute("SELECT body FROM pages").one()["body"] == "fixed"
+        for version in tt.database.table("pages").all_versions():
+            assert version.end_gen >= tt.current_gen

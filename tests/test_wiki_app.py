@@ -1,0 +1,251 @@
+"""Functional tests for the wiki application under normal execution."""
+
+import pytest
+
+from repro.apps.wiki import WikiApp, patch_for
+from repro.warp import WarpSystem
+
+WIKI = "http://wiki.test"
+
+
+@pytest.fixture
+def deployment():
+    warp = WarpSystem()
+    wiki = WikiApp(warp.ttdb, warp.scripts, warp.server)
+    wiki.install()
+    wiki.seed_user("alice", "pw-alice")
+    wiki.seed_user("bob", "pw-bob")
+    wiki.seed_user("admin", "pw-admin", admin=True)
+    wiki.seed_page("Main_Page", "welcome to the wiki", owner="admin", public=True)
+    wiki.seed_page("Secret", "classified", owner="admin", public=False)
+    return warp, wiki
+
+
+def login(warp, name, password):
+    browser = warp.client(f"{name}-browser")
+    browser.open(f"{WIKI}/login.php")
+    browser.type_into("input[name=wpName]", name)
+    browser.type_into("input[name=wpPassword]", password)
+    visit = browser.submit("#loginform")
+    return browser, visit
+
+
+class TestViewing:
+    def test_view_existing_page(self, deployment):
+        warp, _ = deployment
+        browser = warp.client()
+        visit = browser.open(f"{WIKI}/index.php?title=Main_Page")
+        assert "welcome to the wiki" in visit.document.body_text()
+
+    def test_view_missing_page(self, deployment):
+        warp, _ = deployment
+        browser = warp.client()
+        visit = browser.open(f"{WIKI}/index.php?title=Nope")
+        assert visit.document.get_element_by_id("missing") is not None
+
+    def test_private_page_hidden_from_anonymous(self, deployment):
+        warp, _ = deployment
+        browser = warp.client()
+        visit = browser.open(f"{WIKI}/index.php?title=Secret")
+        assert "classified" not in visit.document.body_text()
+
+    def test_second_view_served_from_cache(self, deployment):
+        warp, _ = deployment
+        browser = warp.client()
+        browser.open(f"{WIKI}/index.php?title=Main_Page")
+        cached = warp.ttdb.execute(
+            "SELECT value FROM objectcache WHERE cache_key = 'page:Main_Page'"
+        ).one()
+        assert cached is not None
+        visit = browser.open(f"{WIKI}/index.php?title=Main_Page")
+        assert "welcome to the wiki" in visit.document.body_text()
+
+
+class TestLogin:
+    def test_login_sets_session(self, deployment):
+        warp, wiki = deployment
+        browser, visit = login(warp, "alice", "pw-alice")
+        assert "Welcome, alice" in visit.document.body_text()
+        token = browser.cookies_for(WIKI)["sess"]
+        assert wiki.session_user(token) == "alice"
+
+    def test_bad_password_rejected(self, deployment):
+        warp, _ = deployment
+        browser, visit = login(warp, "alice", "wrong")
+        assert visit.response.status == 403
+        assert "sess" not in browser.cookies_for(WIKI)
+
+    def test_header_shows_username_after_login(self, deployment):
+        warp, _ = deployment
+        browser, _ = login(warp, "alice", "pw-alice")
+        visit = browser.open(f"{WIKI}/index.php?title=Main_Page")
+        assert visit.document.get_element_by_id("username").text_content() == "alice"
+
+    def test_logout_clears_session(self, deployment):
+        warp, wiki = deployment
+        browser, _ = login(warp, "alice", "pw-alice")
+        token = browser.cookies_for(WIKI)["sess"]
+        browser.open(f"{WIKI}/logout.php")
+        assert "sess" not in browser.cookies_for(WIKI)
+        assert wiki.session_user(token) is None
+
+
+class TestEditing:
+    def test_edit_public_page(self, deployment):
+        warp, wiki = deployment
+        browser, _ = login(warp, "alice", "pw-alice")
+        browser.open(f"{WIKI}/edit.php?title=Main_Page")
+        browser.type_into("textarea", "edited by alice")
+        result = browser.click("input[name=save]")
+        assert result.document.get_element_by_id("saved") is not None
+        assert wiki.page_text("Main_Page") == "edited by alice"
+        assert wiki.page_editor("Main_Page") == "alice"
+
+    def test_edit_invalidates_cache(self, deployment):
+        warp, wiki = deployment
+        browser, _ = login(warp, "alice", "pw-alice")
+        browser.open(f"{WIKI}/index.php?title=Main_Page")  # populate cache
+        browser.open(f"{WIKI}/edit.php?title=Main_Page")
+        browser.type_into("textarea", "new body")
+        browser.click("input[name=save]")
+        visit = browser.open(f"{WIKI}/index.php?title=Main_Page")
+        assert "new body" in visit.document.body_text()
+
+    def test_create_page_grants_creator_acl(self, deployment):
+        warp, wiki = deployment
+        browser, _ = login(warp, "bob", "pw-bob")
+        browser.open(f"{WIKI}/edit.php?title=Bobs_Page")
+        browser.type_into("textarea", "bob content")
+        browser.click("input[name=save]")
+        assert wiki.page_text("Bobs_Page") == "bob content"
+        assert "bob" in wiki.acl_users("Bobs_Page")
+
+    def test_edit_private_page_denied(self, deployment):
+        warp, wiki = deployment
+        browser, _ = login(warp, "bob", "pw-bob")
+        visit = browser.open(f"{WIKI}/edit.php?title=Secret")
+        assert visit.document.get_element_by_id("error") is not None
+        assert wiki.page_text("Secret") == "classified"
+
+    def test_append_mode(self, deployment):
+        warp, wiki = deployment
+        browser, _ = login(warp, "alice", "pw-alice")
+        browser.open(f"{WIKI}/edit.php?title=Main_Page")
+        browser.type_into("textarea", "base text")
+        browser.click("input[name=save]")
+        # The append path is what the XSS payloads use.
+        import repro.http.message as msg
+
+        browser._script_request = browser._script_request  # appease lint
+        visit = browser.open(f"{WIKI}/index.php?title=Main_Page")
+        assert "base text" in visit.document.body_text()
+
+
+class TestAcl:
+    def test_admin_can_grant(self, deployment):
+        warp, wiki = deployment
+        browser, _ = login(warp, "admin", "pw-admin")
+        browser.open(f"{WIKI}/acl.php")
+        browser.type_into("input[name=title]", "Secret")
+        browser.type_into("input[name=user]", "bob")
+        browser.click("input[name=apply]")
+        assert "bob" in wiki.acl_users("Secret")
+
+    def test_non_admin_cannot_grant(self, deployment):
+        warp, wiki = deployment
+        browser, _ = login(warp, "bob", "pw-bob")
+        visit = browser.open(f"{WIKI}/acl.php")
+        assert visit.response.status == 403
+
+    def test_granted_user_can_edit(self, deployment):
+        warp, wiki = deployment
+        admin, _ = login(warp, "admin", "pw-admin")
+        admin.open(f"{WIKI}/acl.php")
+        admin.type_into("input[name=title]", "Secret")
+        admin.type_into("input[name=user]", "bob")
+        admin.click("input[name=apply]")
+
+        bob, _ = login(warp, "bob", "pw-bob")
+        bob.open(f"{WIKI}/edit.php?title=Secret")
+        bob.type_into("textarea", "bob was here")
+        bob.click("input[name=save]")
+        assert wiki.page_text("Secret") == "bob was here"
+
+
+class TestVulnerableSurfaces:
+    def test_stored_xss_reason_rendered_raw(self, deployment):
+        warp, _ = deployment
+        attacker = warp.client("attacker")
+        attacker.open(f"{WIKI}/special_block.php?ip=1.2.3.4")
+        # Post a block whose reason carries a script payload.
+        warp_req_visit = attacker.open(f"{WIKI}/special_block.php?ip=1.2.3.4")
+        payload = "<script>log('pwned');</script>"
+        from repro.http.message import HttpRequest
+
+        response = warp.server.handle(
+            HttpRequest("POST", "/special_block.php", params={"ip": "1.2.3.4", "reason": payload})
+        )
+        victim = warp.client("victim")
+        visit = victim.open(f"{WIKI}/special_block.php?ip=1.2.3.4")
+        assert visit.document.scripts(), "vulnerable page must embed the script"
+
+    def test_patched_block_page_escapes_reason(self, deployment):
+        warp, _ = deployment
+        from repro.http.message import HttpRequest
+
+        warp.server.handle(
+            HttpRequest(
+                "POST",
+                "/special_block.php",
+                params={"ip": "9.9.9.9", "reason": "<script>log('x');</script>"},
+            )
+        )
+        patch = patch_for("stored-xss")
+        warp.scripts.patch(patch.file, patch.build())
+        victim = warp.client("victim")
+        visit = victim.open(f"{WIKI}/special_block.php?ip=9.9.9.9")
+        assert not visit.document.scripts()
+        assert "<script>" in visit.document.body_text()
+
+    def test_sql_injection_piggyback(self, deployment):
+        warp, wiki = deployment
+        attacker = warp.client("attacker")
+        inject = (
+            "en'; UPDATE pagecontent SET old_text = old_text || '-attack'; --"
+        )
+        from repro.http.message import build_url
+
+        attacker.open(build_url(WIKI, "/special_maintenance.php", {"thelang": inject}))
+        assert wiki.page_text("Main_Page").endswith("-attack")
+
+    def test_patched_maintenance_blocks_injection(self, deployment):
+        warp, wiki = deployment
+        patch = patch_for("sql-injection")
+        warp.scripts.patch(patch.file, patch.build())
+        attacker = warp.client("attacker")
+        inject = "en'; UPDATE pagecontent SET old_text = 'gone'; --"
+        from repro.http.message import build_url
+
+        attacker.open(build_url(WIKI, "/special_maintenance.php", {"thelang": inject}))
+        assert wiki.page_text("Main_Page") == "welcome to the wiki"
+
+    def test_reflected_xss_in_installer(self, deployment):
+        warp, _ = deployment
+        from repro.http.message import build_url
+
+        victim = warp.client("victim")
+        url = build_url(
+            WIKI, "/config/index.php", {"wgDBname": "<script>log('r');</script>"}
+        )
+        visit = victim.open(url)
+        assert visit.document.scripts()
+
+    def test_clickjacking_header_absent_until_patched(self, deployment):
+        warp, _ = deployment
+        browser = warp.client()
+        visit = browser.open(f"{WIKI}/index.php?title=Main_Page")
+        assert "X-Frame-Options" not in visit.response.headers
+        patch = patch_for("clickjacking")
+        warp.scripts.patch(patch.file, patch.build())
+        visit = browser.open(f"{WIKI}/index.php?title=Main_Page")
+        assert visit.response.headers.get("X-Frame-Options") == "DENY"

@@ -1,0 +1,107 @@
+"""Unit tests for XPath addressing and the three-way merge (paper §5)."""
+
+import pytest
+
+from repro.browser.html import parse_html
+from repro.browser.merge import MergeConflict, three_way_merge
+from repro.browser.xpath import resolve_target, resolve_xpath, xpath_of
+
+
+PAGE = """
+<html><body>
+  <div id="nav"><a href="/a">A</a><a href="/b">B</a></div>
+  <form action="/edit.php" method="post" id="editform">
+    <input type="text" name="title" value="Home">
+    <textarea name="body">text</textarea>
+    <input type="submit" name="save" value="Save">
+  </form>
+</body></html>
+"""
+
+
+class TestXPath:
+    def test_xpath_roundtrip(self):
+        doc = parse_html(PAGE)
+        for selector in ("#nav", "textarea", "input[name=save]"):
+            el = doc.select(selector)
+            path = xpath_of(el)
+            assert resolve_xpath(doc, path) is el
+
+    def test_sibling_indexing(self):
+        doc = parse_html(PAGE)
+        links = doc.select("#nav").find_all("a")
+        assert xpath_of(links[0]).endswith("/a[1]")
+        assert xpath_of(links[1]).endswith("/a[2]")
+
+    def test_resolve_missing_returns_none(self):
+        doc = parse_html(PAGE)
+        assert resolve_xpath(doc, "/html[1]/body[1]/table[1]") is None
+
+    def test_resolve_target_exact(self):
+        doc = parse_html(PAGE)
+        el = doc.select("textarea")
+        assert resolve_target(doc, xpath_of(el), {"name": "body"}, "textarea") is el
+
+    def test_resolve_target_fallback_by_attrs(self):
+        # The page changed shape: XPath is stale but name attribute survives.
+        doc = parse_html(PAGE)
+        el = doc.select("textarea")
+        stale = "/html[1]/body[1]/div[9]/textarea[4]"
+        assert resolve_target(doc, stale, {"name": "body"}, "textarea") is el
+
+    def test_resolve_target_ambiguous_fallback_fails(self):
+        doc = parse_html("<input name='x'><div><input name='x'></div>")
+        assert resolve_target(doc, "/nope[1]", {"name": "x"}, "input") is None
+
+    def test_resolve_target_missing(self):
+        doc = parse_html(PAGE)
+        assert resolve_target(doc, "/nope[1]", {"name": "zz"}, "input") is None
+
+
+class TestThreeWayMerge:
+    def test_ours_unchanged_returns_theirs(self):
+        assert three_way_merge("base", "base", "fixed") == "fixed"
+
+    def test_theirs_unchanged_returns_ours(self):
+        assert three_way_merge("base", "edited", "base") == "edited"
+
+    def test_same_change_both_sides(self):
+        assert three_way_merge("base", "x", "x") == "x"
+
+    def test_user_edit_survives_attack_removal(self):
+        # Table 4 append-only scenario: the user saw the attacked page
+        # (original + appended attack), edited an unrelated line; repair
+        # removed the appended text.
+        original = "line one\nline two\nline three\n"
+        attacked = original + "ATTACK APPENDED\n"
+        user_edit = "line one\nline two EDITED\nline three\nATTACK APPENDED\n"
+        merged = three_way_merge(attacked, user_edit, original)
+        assert merged == "line one\nline two EDITED\nline three\n"
+
+    def test_user_edit_inside_attacked_region_conflicts(self):
+        base = "hello\nATTACK\nworld\n"
+        ours = "hello\nATTACK edited by user\nworld\n"
+        theirs = "hello\nworld\n"
+        with pytest.raises(MergeConflict):
+            three_way_merge(base, ours, theirs)
+
+    def test_total_overwrite_conflicts(self):
+        # Table 4 overwrite scenario: nothing in common between base and
+        # repaired content, user edited the corrupted text.
+        base = "CORRUPTED PAGE CONTENT\n"
+        ours = "CORRUPTED PAGE CONTENT plus user words\n"
+        theirs = "the original restored text\n"
+        with pytest.raises(MergeConflict):
+            three_way_merge(base, ours, theirs)
+
+    def test_disjoint_edits_merge(self):
+        base = "a\nb\nc\nd\n"
+        ours = "a EDITED\nb\nc\nd\n"
+        theirs = "a\nb\nc\nd CHANGED\n"
+        assert three_way_merge(base, ours, theirs) == "a EDITED\nb\nc\nd CHANGED\n"
+
+    def test_multiline_user_insert(self):
+        base = "one\ntwo\n"
+        ours = "one\nnew line\ntwo\n"
+        theirs = "one\ntwo\nthree\n"
+        assert three_way_merge(base, ours, theirs) == "one\nnew line\ntwo\nthree\n"
