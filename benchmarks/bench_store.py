@@ -1,0 +1,97 @@
+"""Record-store microbenchmark: indexed lookups vs the O(n) scans they
+replaced.
+
+Not a paper table — this guards the store layer's complexity contract
+(DESIGN.md): ``runs_of_visit`` and ``runs_loading_file`` must not degrade
+to scans of the whole run log as the workload grows.  The linear-scan
+reference is the seed implementation's behavior.
+"""
+
+import os
+import time
+
+from conftest import once, print_table
+
+from repro.ahg.records import AppRunRecord
+from repro.http.message import HttpRequest, HttpResponse
+from repro.store.recordstore import RecordStore
+
+N_RUNS = int(os.environ.get("REPRO_STORE_RUNS", "20000"))
+N_LOOKUPS = 500
+
+
+def build_store(n_runs):
+    store = RecordStore()
+    for i in range(1, n_runs + 1):
+        store.add_run(
+            AppRunRecord(
+                run_id=i,
+                ts_start=i,
+                ts_end=i + 1,
+                script="page.php",
+                loaded_files={f"file{i % 50}.php": 0},
+                request=HttpRequest("GET", "/page.php"),
+                response=HttpResponse(body="x"),
+                client_id=f"client{i % 200}",
+                visit_id=i // 200,
+                request_id=i % 200,
+            )
+        )
+    return store
+
+
+def timed(func, repeat):
+    started = time.perf_counter()
+    for _ in range(repeat):
+        func()
+    return time.perf_counter() - started
+
+
+def test_store_lookup_scaling(benchmark):
+    def measure():
+        store = build_store(N_RUNS)
+        runs = store.runs_in_order()
+
+        indexed_visit = timed(
+            lambda: store.runs_of_visit("client7", 13), N_LOOKUPS
+        )
+        scan_visit = timed(
+            lambda: [
+                r for r in runs if r.client_id == "client7" and r.visit_id == 13
+            ],
+            N_LOOKUPS,
+        )
+        indexed_file = timed(
+            lambda: store.runs_loading_file("file7.php", N_RUNS - 100), N_LOOKUPS
+        )
+        scan_file = timed(
+            lambda: [
+                r
+                for r in runs
+                if r.ts_end >= N_RUNS - 100 and "file7.php" in r.loaded_files
+            ],
+            N_LOOKUPS,
+        )
+        return indexed_visit, scan_visit, indexed_file, scan_file
+
+    indexed_visit, scan_visit, indexed_file, scan_file = once(benchmark, measure)
+    print_table(
+        f"Store lookups over {N_RUNS} runs ({N_LOOKUPS} lookups each)",
+        ["lookup", "indexed_s", "linear_scan_s", "speedup"],
+        [
+            (
+                "runs_of_visit",
+                f"{indexed_visit:.4f}",
+                f"{scan_visit:.4f}",
+                f"{scan_visit / max(indexed_visit, 1e-9):.0f}x",
+            ),
+            (
+                "runs_loading_file",
+                f"{indexed_file:.4f}",
+                f"{scan_file:.4f}",
+                f"{scan_file / max(indexed_file, 1e-9):.0f}x",
+            ),
+        ],
+    )
+    assert indexed_visit < scan_visit
+    assert indexed_file < scan_file

@@ -10,6 +10,7 @@ simulation is single-threaded Python); set ``REPRO_T8_USERS=5000`` for the
 paper's full scale.
 """
 
+import gc
 import os
 
 from conftest import once, print_table
@@ -24,6 +25,10 @@ SCENARIOS = ("reflected-xss", "stored-xss", "sql-injection", "acl-error")
 
 def run_one(attack, n_users):
     outcome = run_scenario(attack, n_users=n_users, n_victims=3)
+    # Pay down the cyclic-GC debt of staging the workload now, so a gen-2
+    # collection pause (millions of objects after several staged scenarios)
+    # does not land inside the repair window we are measuring.
+    gc.collect()
     result = outcome.repair()
     return {
         "attack": attack,

@@ -1,16 +1,20 @@
-"""The action history graph store and its time-ordered indexes.
+"""The action history graph, backed by the indexed record store.
 
 During normal execution this is append-only.  During repair the controller
 asks questions like "which runs loaded file F after time T?" and "which
 recorded queries could read partition K after time T?"; those are answered
-from lazily built indexes (index construction is what the paper's Table 7
-reports as *Graph* loading time, and we time it the same way).
+by :class:`repro.store.recordstore.RecordStore`'s secondary indexes
+(partition-index construction is what the paper's Table 7 reports as
+*Graph* loading time, and we time it the same way).
+
+The graph is a thin facade: it owns no record state of its own, so a
+store recovered from a snapshot + write-ahead log (see :mod:`repro.store`)
+can be swapped in to restore full repair capability after a restart.
 """
 
 from __future__ import annotations
 
-import time as _time
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.ahg.records import (
     AppRunRecord,
@@ -19,123 +23,133 @@ from repro.ahg.records import (
     VisitRecord,
 )
 
+if TYPE_CHECKING:
+    from repro.store.recordstore import RecordStore
+
 PartitionKey = Tuple[str, str, object]
+
+__all__ = ["ActionHistoryGraph", "PartitionKey"]
 
 
 class ActionHistoryGraph:
     """All recorded actions, plus dependency indexes for repair."""
 
-    def __init__(self) -> None:
-        self.runs: Dict[int, AppRunRecord] = {}
-        self._runs_in_order: List[AppRunRecord] = []
-        self.visits: Dict[Tuple[str, int], VisitRecord] = {}
-        self._client_visits: Dict[str, List[int]] = {}
-        #: (client_id, visit_id, request_id) -> run_id
-        self.request_map: Dict[Tuple[str, int, int], int] = {}
-        self.patches: List[PatchRecord] = []
+    def __init__(self, store: Optional["RecordStore"] = None) -> None:
+        if store is None:
+            # Imported lazily: the store imports the record types from this
+            # package, so a module-level import here would make the import
+            # order of `repro.store` vs `repro.ahg` matter.
+            from repro.store.recordstore import RecordStore
 
-        self._qindex_built: Set[str] = set()
-        self._qindex_keys: Dict[PartitionKey, List[QueryRecord]] = {}
-        self._qindex_all: Dict[str, List[QueryRecord]] = {}
-        self._qindex_table: Dict[str, List[QueryRecord]] = {}
-        #: Wall-clock seconds spent building indexes (Table 7 "Graph").
-        self.graph_load_seconds = 0.0
+            store = RecordStore()
+        self.store = store
+
+    # -- store delegation ------------------------------------------------------
+
+    @property
+    def runs(self) -> Dict[int, AppRunRecord]:
+        return self.store.runs
+
+    @property
+    def visits(self) -> Dict[Tuple[str, int], VisitRecord]:
+        return self.store.visits
+
+    @property
+    def patches(self) -> List[PatchRecord]:
+        return self.store.patches
+
+    @property
+    def request_map(self) -> Dict[Tuple[str, int, int], int]:
+        return self.store.request_map
+
+    @property
+    def graph_load_seconds(self) -> float:
+        """Wall-clock seconds spent building indexes (Table 7 "Graph")."""
+        return self.store.index_build_seconds
 
     # -- recording (normal execution) -----------------------------------------
 
     def add_run(self, run: AppRunRecord) -> None:
-        self.runs[run.run_id] = run
-        self._runs_in_order.append(run)
-        key = run.browser_key()
-        if key is not None and run.request_id is not None:
-            self.request_map[(run.client_id, run.visit_id, run.request_id)] = run.run_id
-        # Keep indexes fresh if they were already built for a table.
-        for query in run.queries:
-            if query.table in self._qindex_built:
-                self._index_query(query)
+        self.store.add_run(run)
+
+    def add_runs(self, runs: Iterable[AppRunRecord]) -> None:
+        self.store.add_runs(runs)
 
     def add_visit(self, visit: VisitRecord) -> None:
-        self.visits[(visit.client_id, visit.visit_id)] = visit
-        self._client_visits.setdefault(visit.client_id, []).append(visit.visit_id)
+        self.store.add_visit(visit)
+
+    def log_visit_event(self, client_id: str, visit_id: int, event) -> None:
+        """Journal one DOM event appended to an uploaded visit log."""
+        self.store.log_visit_event(client_id, visit_id, event)
+
+    def log_visit_request(self, client_id: str, visit_id: int, request_id: int) -> None:
+        self.store.log_visit_request(client_id, visit_id, request_id)
+
+    def log_visit_cookies(self, client_id: str, visit_id: int, cookies_after) -> None:
+        self.store.log_visit_cookies(client_id, visit_id, cookies_after)
 
     def add_patch(self, patch: PatchRecord) -> None:
-        self.patches.append(patch)
+        self.store.add_patch(patch)
+
+    # -- repair-time mutation ----------------------------------------------------
+
+    def replace_run(self, run_id: int, record: AppRunRecord) -> Optional[AppRunRecord]:
+        """Swap a run's record for its re-executed replacement (the graph
+        then describes the repaired timeline, enabling follow-up repairs)."""
+        return self.store.replace_run(run_id, record)
+
+    def invalidate_partition_indexes(self) -> None:
+        self.store.invalidate_partition_indexes()
+
+    def mark_run_canceled(self, run_id: int) -> None:
+        self.store.mark_run_canceled(run_id)
 
     # -- statistics -------------------------------------------------------------
 
     @property
     def n_runs(self) -> int:
-        return len(self.runs)
+        return len(self.store.runs)
 
     @property
     def n_visits(self) -> int:
-        return len(self.visits)
+        return len(self.store.visits)
 
     @property
     def n_queries(self) -> int:
-        return sum(len(run.queries) for run in self._runs_in_order)
+        return self.store.query_count
 
     # -- lookups -----------------------------------------------------------------
 
     def runs_in_order(self) -> List[AppRunRecord]:
-        return self._runs_in_order
+        return self.store.runs_in_order()
 
     def run_for_request(
         self, client_id: str, visit_id: int, request_id: int
     ) -> Optional[AppRunRecord]:
-        run_id = self.request_map.get((client_id, visit_id, request_id))
-        return self.runs.get(run_id) if run_id is not None else None
+        return self.store.run_for_request(client_id, visit_id, request_id)
 
     def runs_of_visit(self, client_id: str, visit_id: int) -> List[AppRunRecord]:
-        out = [
-            run
-            for run in self._runs_in_order
-            if run.client_id == client_id and run.visit_id == visit_id
-        ]
-        return out
+        return self.store.runs_of_visit(client_id, visit_id)
 
     def visit_of_run(self, run: AppRunRecord) -> Optional[VisitRecord]:
-        key = run.browser_key()
-        if key is None:
-            return None
-        return self.visits.get(key)
+        return self.store.visit_of_run(run)
 
     def client_visits(self, client_id: str) -> List[VisitRecord]:
-        ids = self._client_visits.get(client_id, [])
-        return [self.visits[(client_id, visit_id)] for visit_id in ids]
+        return self.store.client_visits(client_id)
+
+    def client_runs(self, client_id: str) -> List[AppRunRecord]:
+        return self.store.client_runs(client_id)
+
+    def child_visits(self, client_id: str, visit_id: int) -> List[VisitRecord]:
+        return self.store.child_visits(client_id, visit_id)
+
+    def last_visit_id(self, client_id: str) -> int:
+        return self.store.last_visit_id(client_id)
 
     def runs_loading_file(self, file: str, since_ts: int) -> List[AppRunRecord]:
         """Runs whose input dependencies include source file ``file`` at or
         after ``since_ts`` (retroactive patching, paper §3.2)."""
-        return [
-            run
-            for run in self._runs_in_order
-            if run.ts_end >= since_ts and file in run.loaded_files
-        ]
-
-    # -- partition dependency index ------------------------------------------------
-
-    def _build_index(self, table: str) -> None:
-        if table in self._qindex_built:
-            return
-        start = _time.perf_counter()
-        self._qindex_built.add(table)
-        for run in self._runs_in_order:
-            for query in run.queries:
-                if query.table == table:
-                    self._index_query(query)
-        self.graph_load_seconds += _time.perf_counter() - start
-
-    def _index_query(self, query: QueryRecord) -> None:
-        table = query.table
-        self._qindex_table.setdefault(table, []).append(query)
-        keys: Set[PartitionKey] = set(query.written_partitions)
-        if query.read_set.is_all or query.full_table_write:
-            self._qindex_all.setdefault(table, []).append(query)
-        keys |= {(table,) + tuple(k) for k in query.read_set.keys()}
-        for key in keys:
-            full = key if len(key) == 3 else (table,) + tuple(key)
-            self._qindex_keys.setdefault(full, []).append(query)
+        return self.store.runs_loading_file(file, since_ts)
 
     def queries_touching(
         self,
@@ -146,69 +160,28 @@ class ActionHistoryGraph:
     ) -> List[QueryRecord]:
         """Candidate queries that may read or write the given partitions
         strictly after ``since_ts``.  Callers re-check precisely."""
-        self._build_index(table)
-        seen: Set[int] = set()
-        out: List[QueryRecord] = []
-        if whole_table:
-            buckets = [self._qindex_table.get(table, [])]
-        else:
-            buckets = [self._qindex_keys.get(key, []) for key in keys]
-            buckets.append(self._qindex_all.get(table, []))
-        for bucket in buckets:
-            for query in bucket:
-                if query.ts > since_ts and query.qid not in seen:
-                    seen.add(query.qid)
-                    out.append(query)
-        out.sort(key=lambda q: q.ts)
-        return out
+        return self.store.queries_touching(table, keys, since_ts, whole_table)
 
     # -- per-client log quota (paper §5.2) ----------------------------------------
 
     def enforce_client_quota(self, max_visits_per_client: int) -> int:
-        """Each client's uploaded browser log has its own storage quota, so
-        one client cannot monopolize log space or evict other users' recent
-        entries.  Oldest visit logs beyond the quota are dropped (their
-        server-side run records remain)."""
-        dropped = 0
-        for client_id, visit_ids in self._client_visits.items():
-            excess = len(visit_ids) - max_visits_per_client
-            if excess <= 0:
-                continue
-            victims = sorted(
-                visit_ids, key=lambda vid: self.visits[(client_id, vid)].ts
-            )[:excess]
-            for visit_id in victims:
-                del self.visits[(client_id, visit_id)]
-                visit_ids.remove(visit_id)
-                dropped += 1
-        return dropped
+        return self.store.enforce_client_quota(max_visits_per_client)
 
     # -- garbage collection ----------------------------------------------------------
 
     def gc(self, horizon_ts: int) -> int:
         """Drop runs and visits that ended before ``horizon_ts``."""
-        removed = 0
-        keep = []
-        for run in self._runs_in_order:
-            if run.ts_end < horizon_ts:
-                removed += 1
-                del self.runs[run.run_id]
-                key = run.browser_key()
-                if key is not None and run.request_id is not None:
-                    self.request_map.pop(key + (run.request_id,), None)
-            else:
-                keep.append(run)
-        self._runs_in_order = keep
-        for key, visit in list(self.visits.items()):
-            if visit.ts < horizon_ts and not self.runs_of_visit(*key):
-                del self.visits[key]
-                ids = self._client_visits.get(visit.client_id)
-                if ids and visit.visit_id in ids:
-                    ids.remove(visit.visit_id)
-                removed += 1
-        # Indexes may now reference dropped queries; rebuild lazily.
-        self._qindex_built.clear()
-        self._qindex_keys.clear()
-        self._qindex_all.clear()
-        self._qindex_table.clear()
-        return removed
+        return self.store.gc(horizon_ts)
+
+    # -- durability -------------------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        return self.store.to_snapshot()
+
+    def restore_snapshot(self, data: dict) -> None:
+        """Replace the backing store with one rebuilt from ``data`` (the
+        graph object keeps its identity, so wired-up components — server,
+        extensions, controllers — see the restored records)."""
+        from repro.store.recordstore import RecordStore
+
+        self.store = RecordStore.from_snapshot(data, wal=self.store.wal)

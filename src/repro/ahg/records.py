@@ -3,6 +3,12 @@
 Everything repair needs to roll back and re-execute is captured in these
 dataclasses: they are the concrete encoding of the action history graph's
 actions and dependency edges.
+
+Each record type round-trips through ``to_dict``/``from_dict`` with only
+JSON-representable values, which is what the store layer's write-ahead
+log and snapshots (:mod:`repro.store`) persist.  Tuple-shaped fields are
+encoded as lists and rebuilt on decode; recorded values themselves are
+JSON scalars by construction.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.core.serialize import decode_key_set, decode_tree, encode_key_set, encode_tree
 from repro.http.message import HttpRequest, HttpResponse
 from repro.ttdb.partitions import ReadSet
 
@@ -44,6 +51,43 @@ class QueryRecord:
     def is_write(self) -> bool:
         return self.kind != "select"
 
+    def to_dict(self) -> dict:
+        return {
+            "qid": self.qid,
+            "run_id": self.run_id,
+            "seq": self.seq,
+            "ts": self.ts,
+            "sql": self.sql,
+            "params": encode_tree(self.params),
+            "kind": self.kind,
+            "table": self.table,
+            "read_set": self.read_set.to_dict(),
+            "written_row_ids": encode_tree(self.written_row_ids),
+            "written_partitions": encode_key_set(self.written_partitions),
+            "full_table_write": self.full_table_write,
+            "snapshot": encode_tree(self.snapshot),
+            "read_row_ids": list(self.read_row_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryRecord":
+        return cls(
+            qid=data["qid"],
+            run_id=data["run_id"],
+            seq=data["seq"],
+            ts=data["ts"],
+            sql=data["sql"],
+            params=decode_tree(data["params"]),
+            kind=data["kind"],
+            table=data["table"],
+            read_set=ReadSet.from_dict(data["read_set"]),
+            written_row_ids=decode_tree(data["written_row_ids"]),
+            written_partitions=decode_key_set(data["written_partitions"]),
+            full_table_write=data["full_table_write"],
+            snapshot=decode_tree(data["snapshot"]),
+            read_row_ids=tuple(data.get("read_row_ids", ())),
+        )
+
 
 @dataclass
 class NondetRecord:
@@ -52,6 +96,13 @@ class NondetRecord:
     func: str  # 'time' | 'rand' | 'token' | ...
     seq: int  # occurrence index of this func within the run
     value: object
+
+    def to_dict(self) -> dict:
+        return {"func": self.func, "seq": self.seq, "value": encode_tree(self.value)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NondetRecord":
+        return cls(func=data["func"], seq=data["seq"], value=decode_tree(data["value"]))
 
 
 @dataclass
@@ -80,6 +131,41 @@ class AppRunRecord:
             return (self.client_id, self.visit_id)
         return None
 
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "ts_start": self.ts_start,
+            "ts_end": self.ts_end,
+            "script": self.script,
+            "loaded_files": dict(self.loaded_files),
+            "request": self.request.to_dict(),
+            "response": self.response.to_dict(),
+            "queries": [query.to_dict() for query in self.queries],
+            "nondet": [record.to_dict() for record in self.nondet],
+            "client_id": self.client_id,
+            "visit_id": self.visit_id,
+            "request_id": self.request_id,
+            "canceled": self.canceled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppRunRecord":
+        return cls(
+            run_id=data["run_id"],
+            ts_start=data["ts_start"],
+            ts_end=data["ts_end"],
+            script=data["script"],
+            loaded_files=dict(data["loaded_files"]),
+            request=HttpRequest.from_dict(data["request"]),
+            response=HttpResponse.from_dict(data["response"]),
+            queries=[QueryRecord.from_dict(item) for item in data.get("queries", ())],
+            nondet=[NondetRecord.from_dict(item) for item in data.get("nondet", ())],
+            client_id=data.get("client_id"),
+            visit_id=data.get("visit_id"),
+            request_id=data.get("request_id"),
+            canceled=data.get("canceled", False),
+        )
+
 
 @dataclass
 class EventRecord:
@@ -93,6 +179,13 @@ class EventRecord:
     etype: str  # 'input' | 'click' | 'submit'
     xpath: str
     data: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"etype": self.etype, "xpath": self.xpath, "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventRecord":
+        return cls(etype=data["etype"], xpath=data["xpath"], data=dict(data.get("data", {})))
 
 
 @dataclass
@@ -114,6 +207,39 @@ class VisitRecord:
     #: request ids issued during this visit, in order.
     request_ids: List[int] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "visit_id": self.visit_id,
+            "ts": self.ts,
+            "url": self.url,
+            "method": self.method,
+            "post_params": dict(self.post_params),
+            "parent_visit": self.parent_visit,
+            "framed": self.framed,
+            "events": [event.to_dict() for event in self.events],
+            "cookies_before": {k: dict(v) for k, v in self.cookies_before.items()},
+            "cookies_after": {k: dict(v) for k, v in self.cookies_after.items()},
+            "request_ids": list(self.request_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VisitRecord":
+        return cls(
+            client_id=data["client_id"],
+            visit_id=data["visit_id"],
+            ts=data["ts"],
+            url=data["url"],
+            method=data.get("method", "GET"),
+            post_params=dict(data.get("post_params", {})),
+            parent_visit=data.get("parent_visit"),
+            framed=data.get("framed", False),
+            events=[EventRecord.from_dict(item) for item in data.get("events", ())],
+            cookies_before={k: dict(v) for k, v in data.get("cookies_before", {}).items()},
+            cookies_after={k: dict(v) for k, v in data.get("cookies_after", {}).items()},
+            request_ids=list(data.get("request_ids", ())),
+        )
+
 
 @dataclass
 class PatchRecord:
@@ -122,3 +248,14 @@ class PatchRecord:
     file: str
     new_version: int
     apply_ts: int
+
+    def to_dict(self) -> dict:
+        return {"file": self.file, "new_version": self.new_version, "apply_ts": self.apply_ts}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PatchRecord":
+        return cls(
+            file=data["file"],
+            new_version=data["new_version"],
+            apply_ts=data["apply_ts"],
+        )

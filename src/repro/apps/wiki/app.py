@@ -39,6 +39,18 @@ class WikiApp:
     def install(self) -> None:
         """Create tables, register (vulnerable) scripts, and wire routes."""
         install_tables(self.ttdb)
+        self.register_code()
+        self.ttdb.execute(
+            "INSERT INTO i18n (lang, value) VALUES ('en', 'English')"
+        )
+
+    def register_code(self) -> None:
+        """Register scripts and routes only — no database mutation.
+
+        Script exports are Python callables and are not serialized by
+        ``WarpSystem.save``; a deployment reloaded with ``WarpSystem.load``
+        calls this to put the (identical) code back before serving or
+        repairing."""
         self.scripts.register("common.php", make_common(send_frame_options=False))
         self.scripts.register("index.php", pages.make_index())
         self.scripts.register("edit.php", pages.make_edit())
@@ -56,9 +68,6 @@ class WikiApp:
         )
         for path, script in ROUTES.items():
             self.server.route(path, script)
-        self.ttdb.execute(
-            "INSERT INTO i18n (lang, value) VALUES ('en', 'English')"
-        )
 
     # -- seed helpers (run before the logged workload starts) -----------------
 

@@ -88,6 +88,13 @@ class Browser:
         self.visits: Dict[int, PageVisit] = {}
         self._visit_counter = 0
 
+    def resume_visits(self, last_visit_id: int) -> None:
+        """Continue visit-id allocation after ``last_visit_id`` (a real
+        browser's extension keeps its counter across restarts; a rebuilt
+        browser object for a returning client must not reuse ids that are
+        already recorded server-side)."""
+        self._visit_counter = max(self._visit_counter, last_visit_id)
+
     # -- cookie jar -------------------------------------------------------------
 
     def cookies_for(self, origin: str) -> Dict[str, str]:

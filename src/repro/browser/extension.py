@@ -69,6 +69,10 @@ class WarpExtension:
         record = self._records.get(visit.visit_id)
         if record is not None:
             record.cookies_after = browser.jar_snapshot()
+            if self.upload:
+                self.graph.log_visit_cookies(
+                    self.client_id, record.visit_id, record.cookies_after
+                )
 
     # -- request annotation ----------------------------------------------------------
 
@@ -80,6 +84,8 @@ class WarpExtension:
         record = self._records.get(visit.visit_id)
         if record is not None:
             record.request_ids.append(request_id)
+            if self.upload:
+                self.graph.log_visit_request(self.client_id, record.visit_id, request_id)
 
     # -- event recording ----------------------------------------------------------------
 
@@ -90,9 +96,14 @@ class WarpExtension:
         payload = dict(data)
         payload["tag"] = element.tag
         payload["attrs"] = identifying_attrs(element)
-        record.events.append(
-            EventRecord(etype=etype, xpath=xpath_of(element), data=payload)
-        )
+        event = EventRecord(etype=etype, xpath=xpath_of(element), data=payload)
+        record.events.append(event)
+        if self.upload:
+            # The graph shares the record object, but a durable graph must
+            # journal the delta — the uploaded log accumulates after
+            # ``begin_visit``, and crash recovery would otherwise see an
+            # empty event list that replays nothing.
+            self.graph.log_visit_event(self.client_id, record.visit_id, event)
 
     def visit_record(self, visit_id: int) -> Optional[VisitRecord]:
         return self._records.get(visit_id)

@@ -42,6 +42,12 @@ class LogicalClock:
         self._now += delta
         return self._now
 
+    def restore(self, now: int) -> None:
+        """Reset the clock to a persisted timestamp (system reload)."""
+        if now < 0:
+            raise ValueError("clock cannot be restored to a negative time")
+        self._now = now
+
     def wall_time(self) -> float:
         """A fake wall-clock reading derived from the logical time.
 

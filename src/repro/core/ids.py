@@ -38,3 +38,17 @@ class IdAllocator:
     def peek(self, namespace: str) -> int:
         """Return the last allocated id in ``namespace`` (0 if none)."""
         return self._counters.get(namespace, 0)
+
+    def advance_to(self, namespace: str, value: int) -> None:
+        """Ensure the next id in ``namespace`` is greater than ``value``
+        (used after restoring records that postdate a persisted counter)."""
+        if value > self._counters.get(namespace, 0):
+            self._counters[namespace] = value
+
+    def state_dict(self) -> Dict[str, int]:
+        """Persistable image of every namespace's counter."""
+        return dict(self._counters)
+
+    def restore(self, state: Dict[str, int]) -> None:
+        """Reset all counters from a persisted image (system reload)."""
+        self._counters = dict(state)

@@ -55,6 +55,25 @@ class TableSchema:
     def has_column(self, name: str) -> bool:
         return any(col.name == name for col in self.columns)
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "columns": [[col.name, col.type] for col in self.columns],
+            "row_id_column": self.row_id_column,
+            "partition_columns": list(self.partition_columns),
+            "unique_keys": [list(key) for key in self.unique_keys],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TableSchema":
+        return cls(
+            name=data["name"],
+            columns=tuple(Column(name, type) for name, type in data["columns"]),
+            row_id_column=data.get("row_id_column"),
+            partition_columns=tuple(data.get("partition_columns", ())),
+            unique_keys=tuple(tuple(key) for key in data.get("unique_keys", ())),
+        )
+
 
 class RowVersion:
     """One immutable-ish version of a logical row.
@@ -264,6 +283,30 @@ class Table:
             self.versions[row_id] = keep
         return removed
 
+    # -- persistence ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        versions = [
+            [v.row_id, v.data, v.start_ts, v.end_ts, v.start_gen, v.end_gen]
+            for chain in self.versions.values()
+            for v in chain
+        ]
+        return {
+            "schema": self.schema.to_dict(),
+            "next_row_id": self._next_row_id,
+            "versions": versions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table":
+        table = cls(TableSchema.from_dict(data["schema"]))
+        for row_id, row_data, start_ts, end_ts, start_gen, end_gen in data["versions"]:
+            table.add_version(
+                RowVersion(row_id, dict(row_data), start_ts, end_ts, start_gen, end_gen)
+            )
+        table._next_row_id = data["next_row_id"]
+        return table
+
 
 class Database:
     """A named collection of tables."""
@@ -297,3 +340,16 @@ class Database:
 
     def gc(self, horizon_ts: int) -> int:
         return sum(table.gc(horizon_ts) for table in self.tables.values())
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"tables": [table.to_dict() for table in self.tables.values()]}
+
+    def restore(self, data: dict) -> None:
+        """Rebuild all tables in place from a persisted image, so objects
+        holding a reference to this database observe the restored state."""
+        self.tables.clear()
+        for item in data["tables"]:
+            table = Table.from_dict(item)
+            self.tables[table.schema.name] = table

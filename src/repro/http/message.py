@@ -118,6 +118,25 @@ class HttpRequest:
             headers=dict(self.headers),
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "path": self.path,
+            "params": dict(self.params),
+            "cookies": dict(self.cookies),
+            "headers": dict(self.headers),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HttpRequest":
+        return cls(
+            method=data["method"],
+            path=data["path"],
+            params=dict(data.get("params", {})),
+            cookies=dict(data.get("cookies", {})),
+            headers=dict(data.get("headers", {})),
+        )
+
 
 @dataclass
 class HttpResponse:
@@ -148,4 +167,21 @@ class HttpResponse:
             body=self.body,
             headers=dict(self.headers),
             set_cookies=dict(self.set_cookies),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "body": self.body,
+            "headers": dict(self.headers),
+            "set_cookies": dict(self.set_cookies),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HttpResponse":
+        return cls(
+            status=data["status"],
+            body=data["body"],
+            headers=dict(data.get("headers", {})),
+            set_cookies=dict(data.get("set_cookies", {})),
         )

@@ -26,6 +26,27 @@ class Conflict:
     event_desc: str = ""
     resolved: bool = False
 
+    def to_dict(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "visit_id": self.visit_id,
+            "url": self.url,
+            "reason": self.reason,
+            "event_desc": self.event_desc,
+            "resolved": self.resolved,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Conflict":
+        return cls(
+            client_id=data["client_id"],
+            visit_id=data["visit_id"],
+            url=data["url"],
+            reason=data["reason"],
+            event_desc=data.get("event_desc", ""),
+            resolved=data.get("resolved", False),
+        )
+
 
 class ConflictQueue:
     """All unresolved conflicts, indexed by client."""
@@ -65,3 +86,11 @@ class ConflictQueue:
 
     def all(self) -> List[Conflict]:
         return list(self._conflicts)
+
+    def state_list(self) -> List[dict]:
+        """Persistable image (unresolved conflicts must survive restart:
+        they are queued for users who have not logged in yet)."""
+        return [conflict.to_dict() for conflict in self._conflicts]
+
+    def restore(self, items: List[dict]) -> None:
+        self._conflicts = [Conflict.from_dict(item) for item in items]

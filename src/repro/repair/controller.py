@@ -215,15 +215,19 @@ class RepairController:
     def _visit_and_descendants(self, client_id: str, visit_id: int) -> List[int]:
         """Canceling a page visit undoes all of its HTTP requests — which
         includes the navigations (form posts, link follows) its events
-        caused, i.e. its descendant visits."""
+        caused, i.e. its descendant visits.  The parent→children index
+        makes this O(descendants), not O(client history) per level."""
         out = [visit_id]
-        frontier = {visit_id}
+        seen = {visit_id}
+        frontier = [visit_id]
         while frontier:
-            next_frontier = set()
-            for record in self.graph.client_visits(client_id):
-                if record.parent_visit in frontier and record.visit_id not in out:
-                    out.append(record.visit_id)
-                    next_frontier.add(record.visit_id)
+            next_frontier = []
+            for parent_id in frontier:
+                for record in self.graph.child_visits(client_id, parent_id):
+                    if record.visit_id not in seen:
+                        seen.add(record.visit_id)
+                        out.append(record.visit_id)
+                        next_frontier.append(record.visit_id)
             frontier = next_frontier
         return out
 
@@ -231,15 +235,12 @@ class RepairController:
         """Undo *every* action of one client (paper §2: when credentials
         were stolen, administrators can revert just the attacker's actions
         if they can identify the attacker's browser/IP)."""
-        import time as _time
-
         started = _time.perf_counter()
         graph_before = self.graph.graph_load_seconds
         self._begin()
         self.stats.timer.push("init")
-        for run in self.graph.runs_in_order():
-            if run.client_id == client_id:
-                self.cancel_run(run)
+        for run in self.graph.client_runs(client_id):
+            self.cancel_run(run)
         for visit in self.graph.client_visits(client_id):
             self._visit_state[(client_id, visit.visit_id)] = "canceled"
         self.stats.timer.pop()
@@ -253,8 +254,6 @@ class RepairController:
         """Retroactively fix past database state (paper §2: e.g. change the
         password of a user whose credentials leaked, *as of* the leak time,
         at the risk of undoing legitimate changes made with it)."""
-        import time as _time
-
         started = _time.perf_counter()
         graph_before = self.graph.graph_load_seconds
         self._begin()
@@ -343,19 +342,10 @@ class RepairController:
             new_record.request_id = old.request_id
             new_record.ts_start = old.ts_start
             new_record.ts_end = max(old.ts_end, new_record.ts_end)
-            self.graph.runs[old_id] = new_record
-            order = self.graph._runs_in_order
-            for index, run in enumerate(order):
-                if run.run_id == old_id:
-                    order[index] = new_record
-                    break
-        for run in self._new_runs:
-            self.graph.add_run(run)
+            self.graph.replace_run(old_id, new_record)
+        self.graph.add_runs(self._new_runs)
         if self._replacements:
-            self.graph._qindex_built.clear()
-            self.graph._qindex_keys.clear()
-            self.graph._qindex_all.clear()
-            self.graph._qindex_table.clear()
+            self.graph.invalidate_partition_indexes()
 
     # ------------------------------------------------------------------ scheduling
 
@@ -517,7 +507,7 @@ class RepairController:
         if self._run_state.get(run.run_id) == "canceled":
             return
         self._run_state[run.run_id] = "canceled"
-        run.canceled = True
+        self.graph.mark_run_canceled(run.run_id)
         self.stats.runs_canceled += 1
         for query in run.queries:
             if query.is_write:

@@ -1,0 +1,610 @@
+"""Append-oriented record store with maintained secondary indexes.
+
+The store owns the primary record maps (runs, visits, patches) and every
+index the repair controller's dependency questions need:
+
+* ``(client_id, visit_id) -> run ids`` — ``runs_of_visit`` in O(answers);
+* ``source file -> (ts_end, run_id)`` sorted by time — ``runs_loading_file``
+  in O(log n + answers) via bisect;
+* per-table partition-key buckets of ``(ts, qid, query)`` kept in time
+  order — ``queries_touching`` merges pre-sorted buckets with a heap and
+  never re-sorts.
+
+Partition buckets are built lazily per table and the build time is
+accounted in ``index_build_seconds`` (the paper's Table 7 "Graph" column:
+loading the action history graph is part of repair cost).  Everything
+else is maintained eagerly at append time.
+
+Mutations (``add_run``/``add_visit``/``add_patch``/``replace_run``/``gc``/
+``enforce_client_quota``) are the public write API; when a
+:class:`~repro.store.wal.RecordWal` is attached, each one is journaled so
+the store can be rebuilt after a crash from snapshot + WAL replay.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import json
+import os
+import time as _time
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ahg.records import (
+    AppRunRecord,
+    EventRecord,
+    PatchRecord,
+    QueryRecord,
+    VisitRecord,
+)
+from repro.core.errors import ReproError
+from repro.core.serialize import write_json_atomically
+from repro.store.wal import RecordWal
+
+PartitionKey = Tuple[str, str, object]
+
+#: Sorts after any qid in a bucket entry ``(ts, qid, query)``.
+_AFTER_ANY_QID = float("inf")
+
+
+class RecordStore:
+    """Primary record maps plus the secondary indexes repair relies on."""
+
+    def __init__(self, wal: Optional[RecordWal] = None) -> None:
+        self.runs: Dict[int, AppRunRecord] = {}
+        #: Run ids in append order (replacement preserves position).
+        self._run_order: List[int] = []
+        self.visits: Dict[Tuple[str, int], VisitRecord] = {}
+        self._client_visits: Dict[str, List[int]] = {}
+        #: (client_id, visit_id, request_id) -> run_id
+        self.request_map: Dict[Tuple[str, int, int], int] = {}
+        self.patches: List[PatchRecord] = []
+        #: Running total of recorded queries (kept so ``n_queries`` is O(1)).
+        self.query_count = 0
+
+        # -- eagerly maintained secondary indexes -----------------------------
+        self._runs_by_visit: Dict[Tuple[str, int], List[int]] = {}
+        #: file -> sorted [(ts_end, run_id), ...]
+        self._runs_by_file: Dict[str, List[Tuple[int, int]]] = {}
+        #: Highest visit id ever seen per client (survives gc/quota; a
+        #: returning browser must never reuse a recorded visit id).
+        self._client_visit_hwm: Dict[str, int] = {}
+        #: (client_id, parent_visit_id) -> child visit ids — visit
+        #: cancellation walks the navigation tree in O(descendants).
+        self._visit_children: Dict[Tuple[str, int], List[int]] = {}
+        #: client_id -> run ids in append order — cancel_client touches
+        #: only the client's runs, not the whole workload.
+        self._client_runs: Dict[str, List[int]] = {}
+
+        # -- lazily built partition indexes (time-ordered buckets) ------------
+        self._qindex_built: Set[str] = set()
+        self._qindex_keys: Dict[PartitionKey, List[Tuple[int, int, QueryRecord]]] = {}
+        self._qindex_all: Dict[str, List[Tuple[int, int, QueryRecord]]] = {}
+        self._qindex_table: Dict[str, List[Tuple[int, int, QueryRecord]]] = {}
+        #: Wall-clock seconds spent building partition indexes (Table 7).
+        self.index_build_seconds = 0.0
+
+        self.wal = wal
+
+    # ------------------------------------------------------------------ writes
+
+    def add_run(self, run: AppRunRecord) -> None:
+        self.runs[run.run_id] = run
+        self._run_order.append(run.run_id)
+        self.query_count += len(run.queries)
+        key = run.browser_key()
+        if key is not None:
+            self._runs_by_visit.setdefault(key, []).append(run.run_id)
+            self._note_visit_id(run.client_id, run.visit_id)
+            if run.request_id is not None:
+                self.request_map[key + (run.request_id,)] = run.run_id
+        if run.client_id is not None:
+            self._client_runs.setdefault(run.client_id, []).append(run.run_id)
+        self._index_run_files(run)
+        # Keep partition buckets fresh for tables already indexed.
+        for query in run.queries:
+            if query.table in self._qindex_built:
+                self._index_query(query)
+        if self.wal is not None:
+            self.wal.append("run", run.to_dict())
+
+    def add_runs(self, runs: Iterable[AppRunRecord]) -> None:
+        for run in runs:
+            self.add_run(run)
+
+    def add_visit(self, visit: VisitRecord) -> None:
+        self.visits[(visit.client_id, visit.visit_id)] = visit
+        self._client_visits.setdefault(visit.client_id, []).append(visit.visit_id)
+        self._note_visit_id(visit.client_id, visit.visit_id)
+        if visit.parent_visit is not None:
+            self._visit_children.setdefault(
+                (visit.client_id, visit.parent_visit), []
+            ).append(visit.visit_id)
+        if self.wal is not None:
+            self.wal.append("visit", visit.to_dict())
+
+    # The extension keeps appending to an uploaded visit's record (events,
+    # request ids, cookie snapshots) while the visit is live; it shares the
+    # record object with the store, so these methods journal the *delta*
+    # only — re-journaling the whole record per DOM event would make WAL
+    # volume quadratic in the visit's event count.  Replay re-applies each
+    # delta onto the base "visit" entry (or onto the snapshot's copy).
+
+    def log_visit_event(self, client_id: str, visit_id: int, event: EventRecord) -> None:
+        if self.wal is not None and (client_id, visit_id) in self.visits:
+            self.wal.append(
+                "visit_event",
+                {"client_id": client_id, "visit_id": visit_id, "event": event.to_dict()},
+            )
+
+    def log_visit_request(self, client_id: str, visit_id: int, request_id: int) -> None:
+        if self.wal is not None and (client_id, visit_id) in self.visits:
+            self.wal.append(
+                "visit_request",
+                {"client_id": client_id, "visit_id": visit_id, "request_id": request_id},
+            )
+
+    def log_visit_cookies(self, client_id: str, visit_id: int, cookies_after) -> None:
+        if self.wal is not None and (client_id, visit_id) in self.visits:
+            self.wal.append(
+                "visit_cookies",
+                {
+                    "client_id": client_id,
+                    "visit_id": visit_id,
+                    "cookies_after": {k: dict(v) for k, v in cookies_after.items()},
+                },
+            )
+
+    def mark_run_canceled(self, run_id: int) -> None:
+        """Record that repair canceled (undid) this run — journaled so the
+        cancellation survives recovery."""
+        run = self.runs.get(run_id)
+        if run is None or run.canceled:
+            return
+        run.canceled = True
+        if self.wal is not None:
+            self.wal.append("cancel_run", {"run_id": run_id})
+
+    def add_patch(self, patch: PatchRecord) -> None:
+        self.patches.append(patch)
+        if self.wal is not None:
+            self.wal.append("patch", patch.to_dict())
+
+    def replace_run(self, run_id: int, record: AppRunRecord) -> Optional[AppRunRecord]:
+        """Swap the stored record for ``run_id`` with ``record`` in place.
+
+        The caller must have already given ``record`` the old run's
+        identity (run id, browser correlation, timestamps); the store
+        keeps the run's position in append order and refreshes the
+        file index.  Partition buckets referencing the old record stay
+        stale until :meth:`invalidate_partition_indexes` — callers batch
+        replacements and invalidate once.  Returns the old record, or
+        None if ``run_id`` is unknown.
+        """
+        old = self.runs.get(run_id)
+        if old is None:
+            return None
+        if record.run_id != run_id:
+            raise ValueError(
+                f"replacement record has run_id {record.run_id}, expected {run_id}"
+            )
+        self.runs[run_id] = record
+        self.query_count += len(record.queries) - len(old.queries)
+        self._unindex_run_files(old)
+        self._index_run_files(record)
+        if self.wal is not None:
+            self.wal.append("replace_run", record.to_dict())
+        return old
+
+    def invalidate_partition_indexes(self) -> None:
+        """Drop the lazily built partition buckets (records changed under
+        them); the next ``queries_touching`` rebuilds on demand."""
+        self._qindex_built.clear()
+        self._qindex_keys.clear()
+        self._qindex_all.clear()
+        self._qindex_table.clear()
+
+    # ------------------------------------------------------------------ lookups
+
+    def runs_in_order(self) -> List[AppRunRecord]:
+        return [self.runs[run_id] for run_id in self._run_order]
+
+    def run_for_request(
+        self, client_id: str, visit_id: int, request_id: int
+    ) -> Optional[AppRunRecord]:
+        run_id = self.request_map.get((client_id, visit_id, request_id))
+        return self.runs.get(run_id) if run_id is not None else None
+
+    def runs_of_visit(self, client_id: str, visit_id: int) -> List[AppRunRecord]:
+        ids = self._runs_by_visit.get((client_id, visit_id), [])
+        return [self.runs[run_id] for run_id in ids]
+
+    def visit_of_run(self, run: AppRunRecord) -> Optional[VisitRecord]:
+        key = run.browser_key()
+        if key is None:
+            return None
+        return self.visits.get(key)
+
+    def client_visits(self, client_id: str) -> List[VisitRecord]:
+        ids = self._client_visits.get(client_id, [])
+        return [self.visits[(client_id, visit_id)] for visit_id in ids]
+
+    def client_runs(self, client_id: str) -> List[AppRunRecord]:
+        """All runs this client's browser issued, in append order."""
+        ids = self._client_runs.get(client_id, [])
+        return [self.runs[run_id] for run_id in ids]
+
+    def child_visits(self, client_id: str, visit_id: int) -> List[VisitRecord]:
+        """Visits whose ``parent_visit`` is ``visit_id`` (navigations the
+        parent page's events caused), in recording order."""
+        ids = self._visit_children.get((client_id, visit_id), [])
+        return [
+            self.visits[(client_id, child_id)]
+            for child_id in ids
+            if (client_id, child_id) in self.visits
+        ]
+
+    def last_visit_id(self, client_id: str) -> int:
+        """Highest visit id ever recorded for this client (0 if none)."""
+        return self._client_visit_hwm.get(client_id, 0)
+
+    def _note_visit_id(self, client_id, visit_id) -> None:
+        if client_id is None or visit_id is None:
+            return
+        if visit_id > self._client_visit_hwm.get(client_id, 0):
+            self._client_visit_hwm[client_id] = visit_id
+
+    def _unlink_child(self, visit: VisitRecord) -> None:
+        if visit.parent_visit is None:
+            return
+        key = (visit.client_id, visit.parent_visit)
+        children = self._visit_children.get(key)
+        if children is not None:
+            if visit.visit_id in children:
+                children.remove(visit.visit_id)
+            if not children:
+                del self._visit_children[key]
+
+    def runs_loading_file(self, file: str, since_ts: int) -> List[AppRunRecord]:
+        """Runs whose input dependencies include source file ``file`` with
+        ``ts_end >= since_ts``, in ts_end order (retroactive patching,
+        paper §3.2)."""
+        bucket = self._runs_by_file.get(file, [])
+        start = bisect.bisect_left(bucket, (since_ts,))
+        return [self.runs[run_id] for _, run_id in bucket[start:]]
+
+    # ------------------------------------------------------------------ partition index
+
+    def queries_touching(
+        self,
+        table: str,
+        keys: Iterable[PartitionKey],
+        since_ts: int,
+        whole_table: bool = False,
+    ) -> List[QueryRecord]:
+        """Candidate queries that may read or write the given partitions
+        strictly after ``since_ts``, in timestamp order.  Buckets are kept
+        time-ordered, so this is a heap merge of pre-sorted runs of
+        answers — no per-call sort.  Callers re-check precisely."""
+        self._build_index(table)
+        if whole_table:
+            buckets = [self._qindex_table.get(table, [])]
+        else:
+            buckets = [self._qindex_keys.get(key, []) for key in keys]
+            buckets.append(self._qindex_all.get(table, []))
+        cut = (since_ts, _AFTER_ANY_QID)
+        tails = []
+        for bucket in buckets:
+            start = bisect.bisect_right(bucket, cut)
+            if start < len(bucket):
+                tails.append(bucket[start:])
+        seen: Set[int] = set()
+        out: List[QueryRecord] = []
+        for _, qid, query in heapq.merge(*tails):
+            if qid not in seen:
+                seen.add(qid)
+                out.append(query)
+        return out
+
+    def _build_index(self, table: str) -> None:
+        if table in self._qindex_built:
+            return
+        start = _time.perf_counter()
+        self._qindex_built.add(table)
+        # Bulk load: plain appends, then one sort per touched bucket.
+        # Entries arrive nearly in ts order, so the sorts are close to
+        # linear — cheaper than per-entry binary insertion, and immune to
+        # the quadratic worst case of inserting out-of-order timestamps.
+        touched: Dict[int, List] = {}
+        for run_id in self._run_order:
+            for query in self.runs[run_id].queries:
+                if query.table == table:
+                    self._index_query(query, touched=touched)
+        for bucket in touched.values():
+            bucket.sort()
+        self.index_build_seconds += _time.perf_counter() - start
+
+    def _index_query(
+        self, query: QueryRecord, touched: Optional[Dict[int, List]] = None
+    ) -> None:
+        """Add one query to the partition buckets.  With ``touched`` (bulk
+        build), entries are appended and the caller sorts each touched
+        bucket once; without it, sorted order is maintained in place."""
+        table = query.table
+        entry = (query.ts, query.qid, query)
+
+        def insert(bucket: List) -> None:
+            if touched is None:
+                bisect.insort(bucket, entry)
+            else:
+                bucket.append(entry)
+                touched[id(bucket)] = bucket
+
+        insert(self._qindex_table.setdefault(table, []))
+        keys: Set[PartitionKey] = set(query.written_partitions)
+        if query.read_set.is_all or query.full_table_write:
+            insert(self._qindex_all.setdefault(table, []))
+        keys |= {(table,) + tuple(k) for k in query.read_set.keys()}
+        for key in keys:
+            full = key if len(key) == 3 else (table,) + tuple(key)
+            insert(self._qindex_keys.setdefault(full, []))
+
+    # ------------------------------------------------------------------ file index
+
+    def _index_run_files(self, run: AppRunRecord) -> None:
+        for file in run.loaded_files:
+            bisect.insort(self._runs_by_file.setdefault(file, []), (run.ts_end, run.run_id))
+
+    def _unindex_run_files(self, run: AppRunRecord) -> None:
+        for file in run.loaded_files:
+            bucket = self._runs_by_file.get(file)
+            if bucket is None:
+                continue
+            pos = bisect.bisect_left(bucket, (run.ts_end, run.run_id))
+            if pos < len(bucket) and bucket[pos] == (run.ts_end, run.run_id):
+                bucket.pop(pos)
+            if not bucket:
+                del self._runs_by_file[file]
+
+    # ------------------------------------------------------------------ quota / gc
+
+    def enforce_client_quota(self, max_visits_per_client: int) -> int:
+        """Each client's uploaded browser log has its own storage quota, so
+        one client cannot monopolize log space or evict other users' recent
+        entries (paper §5.2).  Oldest visit logs beyond the quota are
+        dropped in one pass per client (their server-side run records
+        remain)."""
+        dropped = 0
+        for client_id, visit_ids in self._client_visits.items():
+            excess = len(visit_ids) - max_visits_per_client
+            if excess <= 0:
+                continue
+            victims = set(
+                sorted(visit_ids, key=lambda vid: self.visits[(client_id, vid)].ts)[
+                    :excess
+                ]
+            )
+            for visit_id in victims:
+                self._unlink_child(self.visits.pop((client_id, visit_id)))
+            visit_ids[:] = [vid for vid in visit_ids if vid not in victims]
+            dropped += len(victims)
+        if dropped and self.wal is not None:
+            self.wal.append("quota", {"max_visits_per_client": max_visits_per_client})
+        return dropped
+
+    def gc(self, horizon_ts: int) -> int:
+        """Drop runs and visits that ended before ``horizon_ts``.
+
+        Single pass over the run log plus a single pass over visits; visit
+        liveness ("does any run of this visit survive?") is answered from
+        the ``(client, visit)`` index instead of rescanning all runs.
+        """
+        removed = 0
+        keep_order: List[int] = []
+        dead_runs: List[AppRunRecord] = []
+        for run_id in self._run_order:
+            run = self.runs[run_id]
+            if run.ts_end < horizon_ts:
+                dead_runs.append(run)
+            else:
+                keep_order.append(run_id)
+        self._run_order = keep_order
+        dead_runs_by_client: Dict[str, Set[int]] = {}
+        for run in dead_runs:
+            removed += 1
+            del self.runs[run.run_id]
+            self.query_count -= len(run.queries)
+            self._unindex_run_files(run)
+            if run.client_id is not None:
+                dead_runs_by_client.setdefault(run.client_id, set()).add(run.run_id)
+            key = run.browser_key()
+            if key is not None:
+                ids = self._runs_by_visit.get(key)
+                if ids is not None:
+                    ids.remove(run.run_id)
+                    if not ids:
+                        del self._runs_by_visit[key]
+                if run.request_id is not None:
+                    map_key = key + (run.request_id,)
+                    if self.request_map.get(map_key) == run.run_id:
+                        del self.request_map[map_key]
+        for client_id, gone in dead_runs_by_client.items():
+            ids = self._client_runs.get(client_id, [])
+            ids[:] = [run_id for run_id in ids if run_id not in gone]
+            if not ids:
+                self._client_runs.pop(client_id, None)
+
+        dead_by_client: Dict[str, Set[int]] = {}
+        for key, visit in list(self.visits.items()):
+            if visit.ts < horizon_ts and not self._runs_by_visit.get(key):
+                del self.visits[key]
+                self._unlink_child(visit)
+                dead_by_client.setdefault(visit.client_id, set()).add(visit.visit_id)
+                removed += 1
+        for client_id, gone in dead_by_client.items():
+            ids = self._client_visits.get(client_id, [])
+            ids[:] = [vid for vid in ids if vid not in gone]
+            if not ids:
+                self._client_visits.pop(client_id, None)
+
+        # Partition buckets may reference dropped queries; rebuild lazily.
+        self.invalidate_partition_indexes()
+        if removed and self.wal is not None:
+            self.wal.append("gc", {"horizon_ts": horizon_ts})
+        return removed
+
+    # ------------------------------------------------------------------ durability
+
+    def to_snapshot(self) -> dict:
+        """Serializable image of all primary records (indexes are derived
+        state and are rebuilt on load)."""
+        return {
+            "runs": [self.runs[run_id].to_dict() for run_id in self._run_order],
+            "visits": [visit.to_dict() for visit in self.visits.values()],
+            "patches": [patch.to_dict() for patch in self.patches],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict, wal: Optional[RecordWal] = None) -> "RecordStore":
+        store = cls()
+        for item in data.get("visits", ()):
+            store.add_visit(VisitRecord.from_dict(item))
+        for item in data.get("runs", ()):
+            store.add_run(AppRunRecord.from_dict(item))
+        for item in data.get("patches", ()):
+            store.add_patch(PatchRecord.from_dict(item))
+        store.wal = wal
+        return store
+
+    def save_snapshot(self, path: str) -> None:
+        """Write a snapshot; the attached WAL (if any) is truncated since
+        the snapshot now covers everything it journaled."""
+        self.commit_snapshot(path, self.to_snapshot())
+
+    def commit_snapshot(self, path: str, payload: dict) -> str:
+        """Write ``payload`` (stamped with a fresh ``snapshot_id``) under
+        the marker pairing protocol: the id is journaled before the write
+        and again after the WAL truncation, so ``replay_wal`` can refuse a
+        WAL truncated against a different snapshot and a crash anywhere in
+        between replays nothing the snapshot already covers.  The id
+        carries a random nonce — two saves of identical-looking state must
+        never share an id, or a crash between the second save's pre-write
+        marker and its snapshot write would make recovery skip entries
+        that only the *first* snapshot (still on disk) lacks."""
+        snapshot_id = f"{len(self._run_order)}-{len(self.visits)}-{os.urandom(8).hex()}"
+        payload["snapshot_id"] = snapshot_id
+        if self.wal is not None:
+            self.wal.append("snapshot_marker", {"snapshot_id": snapshot_id})
+        write_json_atomically(path, payload)
+        if self.wal is not None:
+            self.wal.truncate()
+            self.wal.append("snapshot_marker", {"snapshot_id": snapshot_id})
+        return snapshot_id
+
+    @classmethod
+    def recover(
+        cls, snapshot_path: Optional[str] = None, wal_path: Optional[str] = None
+    ) -> "RecordStore":
+        """Rebuild a store from the last snapshot plus WAL replay."""
+        snapshot_id = None
+        if snapshot_path is not None and os.path.exists(snapshot_path):
+            with open(snapshot_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            snapshot_id = data.get("snapshot_id")
+            store = cls.from_snapshot(data)
+        else:
+            store = cls()
+        if wal_path is not None:
+            store.replay_wal(wal_path, snapshot_id=snapshot_id)
+        return store
+
+    def replay_wal(self, wal_path: str, snapshot_id: Optional[str] = None) -> int:
+        """Replay journaled entries onto this store, then attach the WAL
+        for future appends (attachment must come last so replayed entries
+        are not re-journaled).  Returns the number of entries applied.
+
+        ``snapshot_id`` ties replay to the snapshot the store was built
+        from: ``save`` journals a ``snapshot_marker`` both before writing
+        the snapshot and after truncating the log, so (a) a WAL truncated
+        against a *different* snapshot is a hard error instead of a silent
+        mismatched merge, and (b) a crash between snapshot write and WAL
+        truncation replays only the entries after the marker — the ones
+        the snapshot does not already contain.
+        """
+        entries = list(RecordWal.entries(wal_path))
+        start = 0
+        marker_indexes = [
+            index for index, (kind, _) in enumerate(entries) if kind == "snapshot_marker"
+        ]
+        if snapshot_id is not None and marker_indexes:
+            matching = [
+                index
+                for index in marker_indexes
+                if entries[index][1].get("snapshot_id") == snapshot_id
+            ]
+            if not matching:
+                raise ReproError(
+                    f"write-ahead log {wal_path!r} was truncated against a "
+                    "different snapshot than the one being loaded"
+                )
+            start = matching[-1] + 1
+        applied = 0
+        for kind, data in entries[start:]:
+            if kind == "snapshot_marker":
+                continue
+            self.apply_logged(kind, data)
+            applied += 1
+        self.wal = RecordWal(wal_path)
+        return applied
+
+    def apply_logged(self, kind: str, data: dict) -> None:
+        """Replay one WAL entry.  Replay must be idempotent: a crash
+        between snapshot write and WAL truncation leaves entries in the
+        log that the snapshot already covers."""
+        if kind == "run":
+            record = AppRunRecord.from_dict(data)
+            if record.run_id not in self.runs:
+                self.add_run(record)
+        elif kind == "visit":
+            # Upsert: over a snapshot that already holds the visit, replay
+            # resets it to the base record and the delta entries that
+            # follow rebuild the accumulated state — convergent either way.
+            record = VisitRecord.from_dict(data)
+            key = (record.client_id, record.visit_id)
+            if key in self.visits:
+                self.visits[key] = record
+            else:
+                self.add_visit(record)
+        elif kind == "visit_event":
+            record = self.visits.get((data["client_id"], data["visit_id"]))
+            if record is not None:
+                record.events.append(EventRecord.from_dict(data["event"]))
+        elif kind == "visit_request":
+            record = self.visits.get((data["client_id"], data["visit_id"]))
+            if record is not None:
+                record.request_ids.append(data["request_id"])
+        elif kind == "visit_cookies":
+            record = self.visits.get((data["client_id"], data["visit_id"]))
+            if record is not None:
+                record.cookies_after = {
+                    k: dict(v) for k, v in data["cookies_after"].items()
+                }
+        elif kind == "cancel_run":
+            self.mark_run_canceled(data["run_id"])
+        elif kind == "patch":
+            record = PatchRecord.from_dict(data)
+            if not any(
+                p.file == record.file
+                and p.new_version == record.new_version
+                and p.apply_ts == record.apply_ts
+                for p in self.patches
+            ):
+                self.add_patch(record)
+        elif kind == "replace_run":
+            record = AppRunRecord.from_dict(data)
+            if self.replace_run(record.run_id, record) is None:
+                self.add_run(record)
+        elif kind == "quota":
+            self.enforce_client_quota(data["max_visits_per_client"])
+        elif kind == "gc":
+            self.gc(data["horizon_ts"])

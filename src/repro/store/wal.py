@@ -1,0 +1,101 @@
+"""JSONL write-ahead log for the record store.
+
+Each mutation the store applies is appended as one JSON line —
+``{"kind": ..., "data": ...}`` — before it is acknowledged.  Recovery
+replays the log over the most recent snapshot; ``truncate`` is called
+after a snapshot has been written, because the snapshot supersedes every
+entry logged so far.
+
+The log is deliberately dumb: no framing beyond newlines, no checksums,
+no compaction policy.  A torn final line (crash mid-write) is skipped on
+replay rather than aborting recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, Optional, Tuple
+
+
+class RecordWal:
+    """Append-only JSONL durability log."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # Never append after a torn fragment: a valid entry concatenated
+        # onto it would produce one permanently unparseable line, and every
+        # later recovery would stop there and lose everything after it.
+        self.repair(path)
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def append(self, kind: str, data: dict) -> None:
+        self._fh.write(json.dumps({"kind": kind, "data": data}) + "\n")
+        self._fh.flush()
+        # flush() only reaches the OS page cache; acknowledged entries must
+        # survive power loss, not just process death.
+        os.fsync(self._fh.fileno())
+
+    def truncate(self) -> None:
+        """Discard all logged entries (a snapshot now covers them)."""
+        self._fh.close()
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def close(self) -> None:
+        self._fh.close()
+
+    @staticmethod
+    def repair(path: str) -> int:
+        """Truncate a torn tail (crash mid-append) to the last intact
+        entry.  Returns the number of bytes removed."""
+        if not os.path.exists(path):
+            return 0
+        valid = 0
+        with open(path, "rb") as fh:
+            for line in fh:
+                if not line.endswith(b"\n"):
+                    break
+                stripped = line.strip()
+                if stripped:
+                    try:
+                        json.loads(stripped)
+                    except ValueError:
+                        break
+                valid += len(line)
+        size = os.path.getsize(path)
+        if valid < size:
+            with open(path, "rb+") as fh:
+                fh.truncate(valid)
+        return size - valid
+
+    @staticmethod
+    def entries(path: str) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(kind, data)`` for every intact entry in ``path``.
+
+        "Intact" must mean exactly what :meth:`repair` keeps: a line is
+        only an entry if it ends with a newline.  A crash can cut a write
+        at the closing brace — valid JSON, no newline — and if replay
+        accepted it while repair truncated it, two recoveries of the same
+        file would diverge.
+        """
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8", newline="") as fh:
+            for line in fh:
+                if not line.endswith("\n"):
+                    break  # torn tail: repair() will truncate this line
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a crash mid-append
+                yield entry["kind"], entry["data"]
+
+
+def open_wal(path: Optional[str]) -> Optional[RecordWal]:
+    return RecordWal(path) if path is not None else None

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.core.serialize import decode_pairs, encode_pairs
 from repro.db.sql import ast
 from repro.db.storage import TableSchema
 
@@ -56,6 +57,20 @@ class ReadSet:
         for disjunct in self.disjuncts:
             out |= disjunct
         return frozenset(out)
+
+    def to_dict(self) -> dict:
+        disjuncts = None
+        if self.disjuncts is not None:
+            disjuncts = [encode_pairs(disjunct) for disjunct in self.disjuncts]
+        return {"table": self.table, "disjuncts": disjuncts}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReadSet":
+        raw = data["disjuncts"]
+        disjuncts = None
+        if raw is not None:
+            disjuncts = tuple(decode_pairs(disjunct) for disjunct in raw)
+        return cls(table=data["table"], disjuncts=disjuncts)
 
 
 def read_partitions(

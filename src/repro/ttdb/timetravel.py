@@ -218,6 +218,26 @@ class TimeTravelDB:
                     version.end_gen = INFINITY
         self.repair_gen = None
 
+    # -- persistence ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Generation counters and execution accounting (the database's row
+        versions are persisted separately by :class:`Database`).  An active
+        repair generation is never persisted: an in-flight repair does not
+        survive a crash, it is simply re-run (its versions are fenced into
+        the never-finalized generation and invisible to the live one)."""
+        return {
+            "current_gen": self.current_gen,
+            "statements_executed": self.statements_executed,
+            "partition_analysis": self.partition_analysis,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.current_gen = state["current_gen"]
+        self.statements_executed = state["statements_executed"]
+        self.partition_analysis = state.get("partition_analysis", True)
+        self.repair_gen = None
+
     # -- rollback -------------------------------------------------------------------
 
     def rollback_row(self, table_name: str, row_id: int, ts: int) -> Set[Tuple]:

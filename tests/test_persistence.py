@@ -1,0 +1,396 @@
+"""Durability: a persisted WarpSystem keeps its repair capability.
+
+The acceptance bar (ISSUE 1): a deployment saved to disk and reloaded in
+a *fresh process* must run ``retroactive_patch`` and produce the same
+``RepairStats`` counters as the original in-memory instance.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps.wiki.app import WikiApp
+from repro.apps.wiki.common import make_common
+from repro.warp import WarpSystem
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+
+COUNTERS = (
+    "visits_reexecuted",
+    "runs_reexecuted",
+    "runs_pruned",
+    "runs_canceled",
+    "queries_reexecuted",
+    "nondet_misses",
+    "conflicts",
+    "total_visits",
+    "total_runs",
+    "total_queries",
+)
+
+
+def counters(result):
+    return {name: getattr(result.stats, name) for name in COUNTERS}
+
+
+def build_workload(wal_path=None):
+    """A small wiki deployment with browsing, editing and login traffic."""
+    warp = WarpSystem(wal_path=wal_path)
+    wiki = WikiApp(warp.ttdb, warp.scripts, warp.server)
+    wiki.install()
+    wiki.seed_user("alice", "alicepw")
+    wiki.seed_user("bob", "bobpw", admin=True)
+    wiki.seed_page("Home", "welcome", "bob", editors=["alice"])
+    wiki.seed_page("News", "nothing yet", "bob")
+
+    alice = warp.client("alice-laptop")
+    alice.open("http://wiki.test/login.php")
+    alice.type_into("input[name=wpName]", "alice")
+    alice.type_into("input[name=wpPassword]", "alicepw")
+    alice.submit("#loginform")
+    alice.open("http://wiki.test/index.php?title=Home")
+    alice.open("http://wiki.test/edit.php?title=Home")
+    alice.type_into("textarea", "welcome, edited by alice")
+    alice.submit("form")
+
+    bob = warp.client("bob-desktop")
+    bob.open("http://wiki.test/index.php?title=News")
+    bob.open("http://wiki.test/index.php?title=Home")
+    return warp, wiki
+
+
+CHILD_SCRIPT = """
+import json, sys
+from repro.warp import WarpSystem
+from repro.apps.wiki.app import WikiApp
+from repro.apps.wiki.common import make_common
+
+warp = WarpSystem.load(sys.argv[1])
+wiki = WikiApp(warp.ttdb, warp.scripts, warp.server)
+wiki.register_code()
+result = warp.retroactive_patch("common.php", make_common(send_frame_options=True))
+names = %r
+print(json.dumps({name: getattr(result.stats, name) for name in names}))
+""" % (COUNTERS,)
+
+
+class TestWarpSystemPersistence:
+    def test_reloaded_system_repairs_identically_in_fresh_process(self, tmp_path):
+        warp, _ = build_workload()
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+
+        original = warp.retroactive_patch(
+            "common.php", make_common(send_frame_options=True)
+        )
+        assert original.ok
+
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", CHILD_SCRIPT, path],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout.strip()) == counters(original)
+
+    def test_reloaded_system_repairs_identically_in_process(self, tmp_path):
+        warp, _ = build_workload()
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+
+        reloaded = WarpSystem.load(path)
+        wiki2 = WikiApp(reloaded.ttdb, reloaded.scripts, reloaded.server)
+        wiki2.register_code()
+
+        original = warp.retroactive_patch(
+            "common.php", make_common(send_frame_options=True)
+        )
+        again = reloaded.retroactive_patch(
+            "common.php", make_common(send_frame_options=True)
+        )
+        assert counters(again) == counters(original)
+        # The repaired database state matches too.
+        assert wiki2.page_text("Home") == "welcome, edited by alice"
+
+    def test_reloaded_system_keeps_serving_and_recording(self, tmp_path):
+        warp, _ = build_workload()
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+
+        reloaded = WarpSystem.load(path)
+        WikiApp(reloaded.ttdb, reloaded.scripts, reloaded.server).register_code()
+        runs_before = reloaded.graph.n_runs
+        carol = reloaded.client("carol-phone")
+        carol.open("http://wiki.test/index.php?title=News")
+        assert reloaded.graph.n_runs == runs_before + 1
+        # Fresh run ids do not collide with restored ones.
+        assert len(set(reloaded.graph.runs)) == reloaded.graph.n_runs
+
+    def test_wal_restores_post_snapshot_actions(self, tmp_path):
+        wal_path = str(tmp_path / "records.wal")
+        warp, _ = build_workload(wal_path=wal_path)
+        path = str(tmp_path / "warp.json")
+        warp.save(path)  # snapshot truncates the WAL
+
+        eve = warp.client("eve-tablet")
+        eve.open("http://wiki.test/index.php?title=Home")
+        n_total = warp.graph.n_runs
+
+        reloaded = WarpSystem.load(path, wal_path=wal_path)
+        assert reloaded.graph.n_runs == n_total
+        assert ("eve-tablet", 1) in reloaded.graph.visits
+
+        # Regression: id allocation must continue past WAL-replayed records
+        # (which postdate the snapshot's persisted counters) — a colliding
+        # fresh run id would silently overwrite a restored record.
+        WikiApp(reloaded.ttdb, reloaded.scripts, reloaded.server).register_code()
+        frank = reloaded.client("frank-laptop")
+        frank.open("http://wiki.test/index.php?title=Home")
+        assert reloaded.graph.n_runs == n_total + 1
+        assert len(set(reloaded.graph.runs)) == reloaded.graph.n_runs
+
+    def test_wal_preserves_visit_logs_accumulated_after_upload(self, tmp_path):
+        """Events, request ids and cookie snapshots accumulate on the visit
+        record after add_visit; crash recovery must see the full log."""
+        wal_path = str(tmp_path / "records.wal")
+        warp, _ = build_workload(wal_path=wal_path)
+        live = warp.graph.visits[("alice-laptop", 1)]
+        assert live.events and live.request_ids  # the login page interaction
+
+        # Crash without ever saving a snapshot: recover from the WAL alone.
+        from repro.store.recordstore import RecordStore
+
+        store = RecordStore.recover(wal_path=wal_path)
+        restored = store.visits[("alice-laptop", 1)]
+        assert [e.etype for e in restored.events] == [e.etype for e in live.events]
+        assert restored.request_ids == live.request_ids
+        assert restored.cookies_after == live.cookies_after
+
+    def test_wal_preserves_cancellations(self, tmp_path):
+        wal_path = str(tmp_path / "records.wal")
+        warp, _ = build_workload(wal_path=wal_path)
+        result = warp.cancel_visit("bob-desktop", 1)
+        assert result.ok and result.stats.runs_canceled > 0
+
+        from repro.store.recordstore import RecordStore
+
+        store = RecordStore.recover(wal_path=wal_path)
+        canceled = [r.run_id for r in store.runs.values() if r.canceled]
+        assert canceled == [
+            r.run_id for r in warp.graph.runs.values() if r.canceled
+        ]
+
+    def test_returning_client_does_not_reuse_visit_ids(self, tmp_path):
+        warp, _ = build_workload()
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+
+        reloaded = WarpSystem.load(path)
+        WikiApp(reloaded.ttdb, reloaded.scripts, reloaded.server).register_code()
+        old_visit = reloaded.graph.visits[("alice-laptop", 1)]
+        alice_again = reloaded.client("alice-laptop")
+        alice_again.open("http://wiki.test/index.php?title=News")
+        # The restored visit 1 is untouched; the new visit got a fresh id.
+        assert reloaded.graph.visits[("alice-laptop", 1)] is old_visit
+        new_ids = [v.visit_id for v in reloaded.graph.client_visits("alice-laptop")]
+        assert len(new_ids) == len(set(new_ids))
+        assert max(new_ids) > 1
+
+    def test_fresh_system_refuses_dirty_wal(self, tmp_path):
+        from repro.core.errors import RepairError
+
+        wal_path = str(tmp_path / "records.wal")
+        build_workload(wal_path=wal_path)  # leaves entries in the log
+        with pytest.raises(RepairError, match="already contains entries"):
+            WarpSystem(wal_path=wal_path)
+
+    def test_resave_before_reregistering_keeps_version_guard(self, tmp_path):
+        from repro.core.errors import RepairError
+
+        warp, _ = build_workload()
+        assert warp.retroactive_patch(
+            "common.php", make_common(send_frame_options=True)
+        ).ok
+        p1 = str(tmp_path / "one.json")
+        warp.save(p1)
+
+        loaded = WarpSystem.load(p1)
+        p2 = str(tmp_path / "two.json")
+        loaded.save(p2)  # checkpoint before any code was re-registered
+
+        final = WarpSystem.load(p2)
+        WikiApp(final.ttdb, final.scripts, final.server).register_code()
+        with pytest.raises(RepairError, match="re-apply"):
+            final.cancel_client("bob-desktop")
+
+    def test_conflicts_and_cookie_invalidation_survive_reload(self, tmp_path):
+        from repro.repair.conflicts import Conflict
+
+        warp, _ = build_workload()
+        warp.conflicts.add(
+            Conflict(client_id="alice-laptop", visit_id=2, url="/edit.php", reason="merge failed")
+        )
+        warp.server.cookie_invalidation.add("alice-laptop")
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+
+        reloaded = WarpSystem.load(path)
+        WikiApp(reloaded.ttdb, reloaded.scripts, reloaded.server).register_code()
+        pending = reloaded.conflicts.pending("alice-laptop")
+        assert [c.reason for c in pending] == ["merge failed"]
+        assert "alice-laptop" in reloaded.server.cookie_invalidation
+        # The queued deletion still happens on the client's next contact.
+        alice = reloaded.client("alice-laptop")
+        visit = alice.open("http://wiki.test/index.php?title=Home")
+        assert "alice-laptop" not in reloaded.server.cookie_invalidation
+        assert visit.response.headers.get("X-Warp-Conflicts") == "1"
+
+    def test_clock_advances_past_wal_replayed_records(self, tmp_path):
+        wal_path = str(tmp_path / "records.wal")
+        warp, _ = build_workload(wal_path=wal_path)
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+        eve = warp.client("eve-tablet")
+        eve.open("http://wiki.test/index.php?title=Home")
+        ts_live = warp.clock.now()
+
+        reloaded = WarpSystem.load(path, wal_path=wal_path)
+        assert reloaded.clock.now() >= ts_live
+        # New actions timestamp strictly after everything recorded.
+        assert reloaded.clock.tick() > max(
+            r.ts_end for r in reloaded.graph.runs.values()
+        )
+
+    def test_unnamed_client_tokens_do_not_collide_after_reload(self, tmp_path):
+        wal_path = str(tmp_path / "records.wal")
+        warp, _ = build_workload(wal_path=wal_path)
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+        anon = warp.client()  # token drawn after the save rewound state
+        anon.open("http://wiki.test/index.php?title=Home")
+
+        reloaded = WarpSystem.load(path, wal_path=wal_path)
+        WikiApp(reloaded.ttdb, reloaded.scripts, reloaded.server).register_code()
+        anon_again = reloaded.client()  # rng rewound: would re-draw same token
+        assert anon_again.extension.client_id != anon.extension.client_id
+
+    def test_load_refuses_wal_truncated_against_other_snapshot(self, tmp_path):
+        from repro.core.errors import ReproError
+
+        wal_path = str(tmp_path / "records.wal")
+        warp, _ = build_workload(wal_path=wal_path)
+        p1 = str(tmp_path / "one.json")
+        warp.save(p1)
+        eve = warp.client("eve-tablet")
+        eve.open("http://wiki.test/index.php?title=Home")
+        p2 = str(tmp_path / "two.json")
+        warp.save(p2)  # truncates the WAL against snapshot two
+
+        with pytest.raises(ReproError, match="different snapshot"):
+            WarpSystem.load(p1, wal_path=wal_path)
+        assert WarpSystem.load(p2, wal_path=wal_path).graph.n_runs == warp.graph.n_runs
+
+    def test_crash_between_snapshot_and_truncate_replays_nothing_twice(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.store.wal import RecordWal
+
+        wal_path = str(tmp_path / "records.wal")
+        warp, _ = build_workload(wal_path=wal_path)
+        warp.save(str(tmp_path / "one.json"))
+        eve = warp.client("eve-tablet")
+        eve.open("http://wiki.test/index.php?title=Home")
+
+        def crash(self):
+            raise RuntimeError("simulated crash before truncate")
+
+        monkeypatch.setattr(RecordWal, "truncate", crash)
+        p2 = str(tmp_path / "two.json")
+        with pytest.raises(RuntimeError):
+            warp.save(p2)
+        monkeypatch.undo()
+
+        reloaded = WarpSystem.load(p2, wal_path=wal_path)
+        assert reloaded.graph.n_runs == warp.graph.n_runs
+        for key, visit in warp.graph.visits.items():
+            assert len(reloaded.graph.visits[key].events) == len(visit.events)
+            assert reloaded.graph.visits[key].request_ids == visit.request_ids
+
+    def test_save_refuses_mid_repair(self, tmp_path):
+        warp, _ = build_workload()
+        warp.ttdb.begin_repair()
+        with pytest.raises(Exception):
+            warp.save(str(tmp_path / "warp.json"))
+
+    def test_snapshot_ids_unique_even_for_identical_state(self, tmp_path):
+        """Regression: a crash between a repeat-save's pre-write marker and
+        its snapshot write must not make recovery skip entries the on-disk
+        (older) snapshot lacks — ids carry a nonce, never repeating."""
+        warp, _ = build_workload()
+        p1, p2 = str(tmp_path / "one.json"), str(tmp_path / "two.json")
+        warp.save(p1)
+        warp.save(p2)  # no state change in between
+        ids = {json.load(open(p))["snapshot_id"] for p in (p1, p2)}
+        assert len(ids) == 2
+
+    def test_snapshotless_load_recovers_action_log_from_wal(self, tmp_path):
+        """Crash before the first save: the journaled action history is
+        recoverable with load(None, wal_path=...)."""
+        wal_path = str(tmp_path / "records.wal")
+        warp, _ = build_workload(wal_path=wal_path)
+        n_runs, n_visits = warp.graph.n_runs, warp.graph.n_visits
+
+        recovered = WarpSystem.load(None, wal_path=wal_path)
+        assert recovered.graph.n_runs == n_runs
+        assert recovered.graph.n_visits == n_visits
+        # Counters and clock continue past the recovered records.
+        assert recovered.clock.now() >= max(
+            r.ts_end for r in recovered.graph.runs.values()
+        )
+        assert recovered.ids.peek("run") == max(recovered.graph.runs)
+
+    def test_torn_only_wal_does_not_block_fresh_start(self, tmp_path):
+        wal_path = str(tmp_path / "records.wal")
+        with open(wal_path, "w", encoding="utf-8") as fh:
+            fh.write('{"kind": "run", "da')  # crash during the very first append
+        warp = WarpSystem(wal_path=wal_path)  # must not raise
+        assert warp.graph.n_runs == 0
+
+    def test_repair_refuses_until_code_is_reregistered(self, tmp_path):
+        from repro.core.errors import RepairError
+
+        warp, _ = build_workload()
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+
+        reloaded = WarpSystem.load(path)
+        # No register_code(): repairing would re-execute with missing code.
+        with pytest.raises(RepairError, match="missing"):
+            reloaded.retroactive_patch(
+                "common.php", make_common(send_frame_options=True)
+            )
+
+    def test_repair_refuses_stale_script_versions_after_load(self, tmp_path):
+        from repro.core.errors import RepairError
+
+        warp, _ = build_workload()
+        patched = warp.retroactive_patch(
+            "common.php", make_common(send_frame_options=True)
+        )
+        assert patched.ok
+        path = str(tmp_path / "warp.json")
+        warp.save(path)
+
+        reloaded = WarpSystem.load(path)
+        wiki2 = WikiApp(reloaded.ttdb, reloaded.scripts, reloaded.server)
+        wiki2.register_code()  # baseline code only: common.php back at v0
+        with pytest.raises(RepairError, match="re-apply"):
+            reloaded.cancel_client("bob-desktop")
+        # Re-applying the pre-save patch restores repair capability.
+        reloaded.scripts.patch("common.php", make_common(send_frame_options=True))
+        assert reloaded.cancel_client("bob-desktop").ok
