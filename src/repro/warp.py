@@ -18,6 +18,8 @@ This is the public API a downstream user programs against::
 
 from __future__ import annotations
 
+import json
+import os
 import random
 from typing import Callable, Dict, Optional
 
@@ -31,8 +33,12 @@ from repro.core.ids import IdAllocator, random_token
 from repro.db.storage import Database
 from repro.http.server import HttpServer
 from repro.repair.conflicts import Conflict, ConflictQueue
+from repro.core.errors import RepairError
+from repro.core.serialize import decode_tree, encode_tree
 from repro.repair.controller import RepairController, RepairResult
 from repro.repair.replay import ReplayConfig
+from repro.store.recordstore import RecordStore
+from repro.store.wal import RecordWal, open_wal
 from repro.ttdb.timetravel import TimeTravelDB
 
 
@@ -45,6 +51,7 @@ class WarpSystem:
         seed: int = 0,
         enabled: bool = True,
         replay_config: Optional[ReplayConfig] = None,
+        wal_path: Optional[str] = None,
     ) -> None:
         self.origin = origin
         self.enabled = enabled
@@ -52,9 +59,22 @@ class WarpSystem:
         self.ids = IdAllocator()
         self.rng = random.Random(seed)
 
+        if wal_path is not None and os.path.exists(wal_path):
+            # Drop a torn never-acknowledged fragment first: a log holding
+            # only that has no recoverable data and must not block a fresh
+            # start (load() needs a snapshot, so it cannot help there).
+            RecordWal.repair(wal_path)
+            if os.path.getsize(wal_path):
+                # A fresh system appending to a previous deployment's log
+                # would interleave two histories; recovery is load()'s job.
+                raise RepairError(
+                    f"write-ahead log {wal_path!r} already contains entries — "
+                    "recover with WarpSystem.load(snapshot_or_None, wal_path=...) "
+                    "or remove the file"
+                )
         self.database = Database()
         self.ttdb = TimeTravelDB(self.database, self.clock, enabled=enabled)
-        self.graph = ActionHistoryGraph()
+        self.graph = ActionHistoryGraph(RecordStore(wal=open_wal(wal_path)))
         self.scripts = ScriptStore()
         self.runtime = AppRuntime(
             self.scripts, self.ttdb, self.clock, self.ids, rng=self.rng
@@ -68,6 +88,9 @@ class WarpSystem:
         self.server.conflict_lookup = self.conflicts.pending_count
         self.replay_config = replay_config if replay_config is not None else ReplayConfig()
         self.last_repair: Optional[RepairResult] = None
+        #: Script versions the persisted deployment had (set by ``load``);
+        #: repair refuses to run until re-registered code catches up.
+        self._expected_script_versions: Dict[str, int] = {}
 
     # -- clients -----------------------------------------------------------------
 
@@ -83,8 +106,18 @@ class WarpSystem:
         if not extension:
             return Browser(self.network)
         client_id = name if name is not None else random_token(self.rng)
+        # After a reload the rng may be rewound relative to the recorded
+        # history; never hand a fresh browser a client id that already has
+        # recorded visits (two users would merge under one id).
+        while name is None and self.graph.last_visit_id(client_id) > 0:
+            client_id = random_token(self.rng)
         ext = WarpExtension(client_id, self.graph, self.clock, upload=upload)
-        return Browser(self.network, extension=ext)
+        browser = Browser(self.network, extension=ext)
+        # A returning client (same id, new browser object — e.g. after a
+        # system reload) must not reuse recorded visit ids: a fresh visit 1
+        # would silently overwrite the stored visit 1.
+        browser.resume_visits(self.graph.last_visit_id(client_id))
+        return browser
 
     def register_site(self, origin: str, handler: Callable) -> None:
         """Add a third-party site (e.g. the attacker's) to the network."""
@@ -93,6 +126,7 @@ class WarpSystem:
     # -- repair ------------------------------------------------------------------
 
     def _controller(self) -> RepairController:
+        self._check_code_versions()
         return RepairController(
             ttdb=self.ttdb,
             graph=self.graph,
@@ -142,6 +176,149 @@ class WarpSystem:
         controller = self._controller()
         self.last_repair = controller.retroactive_db_fix(sql, tuple(params), ts)
         return self.last_repair
+
+    # -- durability ---------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist everything repair capability depends on: the action
+        history graph's records, the versioned database, the generation
+        counters, and the deterministic id/clock/rng state.
+
+        Application *code* (script exports are Python callables) is not
+        serialized — after :meth:`load`, re-register the same scripts and
+        routes (e.g. ``WikiApp.register_code``) before serving or
+        repairing.  Saving while a repair generation is active is refused:
+        an in-flight repair does not survive a restart, it is re-run.
+        """
+        if self.ttdb.repair_gen is not None:
+            raise RepairError("cannot save while a repair is in progress")
+        state = {
+            "version": 1,
+            "origin": self.origin,
+            "enabled": self.enabled,
+            "clock": self.clock.now(),
+            "ids": self.ids.state_dict(),
+            "rng_state": encode_tree(self.rng.getstate()),
+            "ttdb": self.ttdb.state_dict(),
+            "database": self.database.to_dict(),
+            "graph": self.graph.to_snapshot(),
+            "routes": dict(self.server.routes),
+            "script_versions": self._script_versions_for_save(),
+            "conflicts": self.conflicts.state_list(),
+            "cookie_invalidation": sorted(self.server.cookie_invalidation),
+        }
+        self.graph.store.commit_snapshot(path, state)
+
+    @classmethod
+    def load(
+        cls,
+        path: Optional[str],
+        replay_config: Optional[ReplayConfig] = None,
+        wal_path: Optional[str] = None,
+    ) -> "WarpSystem":
+        """Reconstruct a persisted deployment in a fresh process.
+
+        When ``wal_path`` is given, action records journaled after the
+        snapshot are replayed on top of it (the write-ahead log restores
+        the action history graph; database versions are only as fresh as
+        the snapshot).  ``path=None`` recovers from the WAL alone — the
+        crash-before-first-save case: the action history graph is rebuilt
+        but database rows, clock origin and counters start fresh, so the
+        application must be reinstalled, not just re-registered.  The
+        caller must re-register application scripts either way (code is
+        not serialized) — recorded routes are restored so request dispatch
+        works as soon as the scripts exist again.
+        """
+        if path is None:
+            if wal_path is None:
+                raise RepairError("load needs a snapshot path, a wal_path, or both")
+            warp = cls(replay_config=replay_config)
+            warp.graph.store.replay_wal(wal_path)
+            warp._sync_id_counters()
+            warp._sync_clock()
+            return warp
+        with open(path, "r", encoding="utf-8") as fh:
+            state = json.load(fh)
+        warp = cls(
+            origin=state["origin"],
+            enabled=state["enabled"],
+            replay_config=replay_config,
+        )
+        warp.clock.restore(state["clock"])
+        warp.ids.restore(state["ids"])
+        warp.rng.setstate(decode_tree(state["rng_state"]))
+        warp.database.restore(state["database"])
+        warp.ttdb.restore_state(state["ttdb"])
+        warp.graph.restore_snapshot(state["graph"])
+        if wal_path is not None:
+            warp.graph.store.replay_wal(wal_path, snapshot_id=state.get("snapshot_id"))
+        warp._sync_id_counters()
+        warp._sync_clock()
+        warp.server.routes.update(state.get("routes", {}))
+        warp._expected_script_versions = dict(state.get("script_versions", {}))
+        warp.conflicts.restore(state.get("conflicts", []))
+        warp.server.cookie_invalidation.update(state.get("cookie_invalidation", ()))
+        return warp
+
+    def _script_versions_for_save(self) -> Dict[str, int]:
+        """Versions to persist: the live store's, floored by what a prior
+        load expected — re-saving a loaded system before its code has been
+        re-registered (or re-patched) must not erase the stale-code guard."""
+        versions = dict(self._expected_script_versions)
+        for name in self.scripts.names():
+            versions[name] = max(versions.get(name, 0), self.scripts.version(name))
+        return versions
+
+    def _check_code_versions(self) -> None:
+        """Refuse to repair until re-registered code matches the persisted
+        deployment.  Re-execution uses the *current* exports; with scripts
+        missing or at older versions (e.g. a pre-save patch not re-applied
+        after load), repair would silently rebuild the timeline with the
+        wrong — typically still-vulnerable — code."""
+        for name, version in self._expected_script_versions.items():
+            if not self.scripts.has(name):
+                raise RepairError(
+                    f"script {name!r} was registered in the persisted deployment "
+                    "but is missing — re-register application code after load"
+                )
+            if self.scripts.version(name) < version:
+                raise RepairError(
+                    f"script {name!r} is at version {self.scripts.version(name)} "
+                    f"but the persisted deployment had version {version} — "
+                    "re-apply its patches before repairing"
+                )
+
+    def _sync_clock(self) -> None:
+        """Advance the logical clock past every restored action — WAL
+        replay restores records that postdate the snapshot's clock, and a
+        reused timestamp would interleave new actions into the middle of
+        the already-recorded timeline."""
+        store = self.graph.store
+        max_ts = self.clock.now()
+        for run in store.runs.values():
+            max_ts = max(max_ts, run.ts_end)
+            for query in run.queries:
+                max_ts = max(max_ts, query.ts)
+        for visit in store.visits.values():
+            max_ts = max(max_ts, visit.ts)
+        for patch in store.patches:
+            max_ts = max(max_ts, patch.apply_ts)
+        self.clock.restore(max_ts)
+
+    def _sync_id_counters(self) -> None:
+        """Advance run/query id allocation past every restored record —
+        WAL-replayed records postdate the snapshot's persisted counters,
+        and a fresh id colliding with a restored one would silently
+        overwrite that record in the graph."""
+        store = self.graph.store
+        self.ids.advance_to("run", max(store.runs, default=0))
+        self.ids.advance_to(
+            "query",
+            max(
+                (query.qid for run in store.runs.values() for query in run.queries),
+                default=0,
+            ),
+        )
 
     def resolve_conflict_by_cancel(self, conflict: Conflict) -> RepairResult:
         """The paper's conflict-resolution UI: cancel the conflicted visit.
