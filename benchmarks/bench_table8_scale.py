@@ -13,7 +13,7 @@ paper's full scale.
 import gc
 import os
 
-from conftest import once, print_table
+from conftest import emit_bench_json, once, print_table
 
 from repro.workload.scenarios import run_scenario
 
@@ -69,6 +69,27 @@ def test_table8_scale(benchmark):
             for attack in SCENARIOS
         ],
     )
+    gates = {}
+    payload = {"n_small": N_SMALL, "n_large": N_LARGE, "scenarios": {}}
+    for attack in SCENARIOS:
+        ratio = (
+            large[attack]["repair_s"] / large[attack]["orig_s"]
+            if large[attack]["orig_s"] > 0
+            else 0.0
+        )
+        payload["scenarios"][attack] = {
+            "repair_s_small": small[attack]["repair_s"],
+            "repair_s_large": large[attack]["repair_s"],
+            "orig_s_large": large[attack]["orig_s"],
+            "repair_over_orig_large": ratio,
+            "reexec_visits_small": small[attack]["reexec_visits"],
+            "reexec_visits_large": large[attack]["reexec_visits"],
+        }
+        gates[f"repair_over_orig_{attack}"] = {
+            "value": ratio,
+            "higher_is_better": False,
+        }
+    emit_bench_json("BENCH_table8.json", "scale", payload, gates=gates)
     for attack in SCENARIOS:
         # The paper's claim (§8.5): "repair time ... is mostly determined
         # by the number of actions that must be re-executed during repair",

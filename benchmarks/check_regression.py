@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Fail when a benchmark gate regresses vs the committed baseline.
+
+Usage::
+
+    python check_regression.py BENCH_table6.json baselines/BENCH_table6.json
+    python check_regression.py BENCH_table8.json baselines/BENCH_table8.json
+
+Every ``BENCH_*.json`` artifact carries a ``gates`` section of
+machine-relative ratio metrics (speedups, overhead fractions, repair/orig
+ratios) with a ``higher_is_better`` direction.  A gate fails when the
+current value is more than ``--tolerance`` (default 20%, per ISSUE 2)
+worse than the committed baseline; gates present in only one file are
+reported but never fail the run (so baselines and benches can evolve
+independently).  Exit code 1 on any failed gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_gates(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    gates = data.get("gates", {})
+    if not gates:
+        raise SystemExit(f"{path}: no 'gates' section — nothing to compare")
+    return gates
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly emitted BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(0.20),
+        help="allowed fractional regression (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_gates(args.current)
+    baseline = load_gates(args.baseline)
+
+    failed = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            print(f"  [skip] {name}: only in baseline")
+            continue
+        if name not in baseline:
+            print(f"  [new ] {name}: {current[name]['value']:.3f} (no baseline)")
+            continue
+        cur = current[name]["value"]
+        base = baseline[name]["value"]
+        higher_is_better = baseline[name].get("higher_is_better", True)
+        if base == 0:
+            print(f"  [skip] {name}: zero baseline")
+            continue
+        if higher_is_better:
+            change = cur / base - 1.0
+        else:
+            # Regression fraction relative to baseline: cur 20% above a
+            # lower-is-better baseline must read as exactly -20%.
+            change = 1.0 - cur / base
+        status = "ok"
+        if change < -args.tolerance:
+            status = "FAIL"
+            failed.append(name)
+        arrow = "+" if change >= 0 else ""
+        print(
+            f"  [{status:4}] {name}: {cur:.3f} vs baseline {base:.3f} "
+            f"({arrow}{change * 100:.1f}%, "
+            f"{'higher' if higher_is_better else 'lower'} is better)"
+        )
+
+    if failed:
+        print(
+            f"\n{len(failed)} gate(s) regressed more than "
+            f"{args.tolerance * 100:.0f}%: {', '.join(failed)}"
+        )
+        return 1
+    print("\nall gates within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

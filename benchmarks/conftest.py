@@ -12,10 +12,52 @@ cost concentrates — are the reproduction targets.  EXPERIMENTS.md records
 paper-vs-measured for every row.
 """
 
+import json
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+#: Where BENCH_*.json artifacts land (CI uploads them; check_regression.py
+#: compares them against benchmarks/baselines/).
+BENCH_OUT = os.environ.get("REPRO_BENCH_OUT", os.path.dirname(__file__))
+
+_CLEARED_ARTIFACTS = set()
+
+
+def _fresh_artifact(path):
+    """Delete a stale artifact the first time this session writes to it —
+    sections merged across tests of one run must not survive from an
+    earlier run against different code."""
+    if path not in _CLEARED_ARTIFACTS:
+        _CLEARED_ARTIFACTS.add(path)
+        if os.path.exists(path):
+            os.remove(path)
+
+
+def emit_bench_json(filename, section, payload, gates=None):
+    """Merge one benchmark section (and its regression gates) into a
+    machine-readable artifact.
+
+    ``gates`` maps metric name -> {"value": float, "higher_is_better":
+    bool}; these are *machine-relative ratios* (speedups, overhead
+    fractions), so a baseline recorded on one machine is comparable on
+    another.  ``check_regression.py`` fails CI when a gate regresses more
+    than the tolerance vs the committed baseline.
+    """
+    path = os.path.join(BENCH_OUT, filename)
+    _fresh_artifact(path)
+    data = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    data[section] = payload
+    if gates:
+        data.setdefault("gates", {}).update(gates)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    print(f"\n[bench] wrote {section} -> {path}")
+    return path
 
 
 def print_table(title, headers, rows):

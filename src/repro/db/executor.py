@@ -13,20 +13,31 @@ directly on :class:`repro.db.storage.Table` version chains:
 It also supports a *plain* mode (``versioned=False``) used by the
 "No WARP" baseline in Table 6: updates mutate rows in place and nothing is
 versioned, which is what a stock database would do.
+
+Execution runs through cached, compiled :class:`repro.db.planner.ExecPlan`
+objects by default (``use_planner=True``).  Setting ``use_planner=False``
+switches to the naive tree-walking reference paths, which are kept
+byte-for-byte equivalent — ``tests/test_executor_property.py`` proves
+result, dependency and version-store parity between the two.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.clock import INFINITY
 from repro.core.errors import SqlError, StorageError
+from repro.db.planner import MISSING, ExecPlan, build_plan, default_name, sort_key
 from repro.db.sql import ast
 from repro.db.sql.eval import aggregate, evaluate, truthy
-from repro.db.storage import Database, RowVersion, Table
+from repro.db.storage import Database, RowVersion, Table, order_key
 
 PartitionKey = Tuple[str, str, object]  # (table, column, value)
+
+#: Plan-cache bound; unique statement texts (e.g. injected SQL built by
+#: string concatenation) must not grow the cache without limit.
+_PLAN_CACHE_MAX = 4096
 
 
 @dataclass
@@ -38,6 +49,8 @@ class ExecContext:
     repair-mode writes which must preserve current-generation copies.
     ``forced_row_ids`` makes INSERT re-execution reuse the original rows'
     IDs so identical re-executions compare equal (paper §4.2).
+    ``journal`` (set for repair-context execution) records created/fenced
+    versions so ``abort_repair`` is O(repair footprint).
     """
 
     ts: int
@@ -45,6 +58,7 @@ class ExecContext:
     current_gen: int
     repair: bool = False
     forced_row_ids: Tuple[int, ...] = ()
+    journal: Optional[object] = field(default=None, repr=False)
 
 
 @dataclass
@@ -87,9 +101,15 @@ class QueryResult:
 class Executor:
     """Executes parsed statements against a :class:`Database`."""
 
-    def __init__(self, database: Database, versioned: bool = True) -> None:
+    def __init__(
+        self, database: Database, versioned: bool = True, use_planner: bool = True
+    ) -> None:
         self.database = database
         self.versioned = versioned
+        #: Planner switch: False falls back to the naive tree-walking
+        #: reference (used by the equivalence property test and ablations).
+        self.use_planner = use_planner
+        self._plan_cache: Dict[object, ExecPlan] = {}
 
     # -- dispatch -------------------------------------------------------------
 
@@ -98,16 +118,32 @@ class Executor:
         stmt: ast.Statement,
         params: Sequence[object],
         ctx: ExecContext,
+        sql: Optional[str] = None,
     ) -> QueryResult:
+        plan = self.plan_for(stmt, sql) if self.use_planner else None
         if isinstance(stmt, ast.Select):
-            return self._select(stmt, params, ctx)
+            return self._select(stmt, params, ctx, plan)
         if isinstance(stmt, ast.Insert):
-            return self._insert(stmt, params, ctx)
+            return self._insert(stmt, params, ctx, plan)
         if isinstance(stmt, ast.Update):
-            return self._update(stmt, params, ctx)
+            return self._update(stmt, params, ctx, plan)
         if isinstance(stmt, ast.Delete):
-            return self._delete(stmt, params, ctx)
+            return self._delete(stmt, params, ctx, plan)
         raise SqlError(f"cannot execute {type(stmt).__name__}")
+
+    def plan_for(self, stmt: ast.Statement, sql: Optional[str] = None) -> ExecPlan:
+        """Cached compiled plan for ``stmt`` (keyed by SQL text when given,
+        else by the statement AST), invalidated on any schema change."""
+        key = sql if sql is not None else stmt
+        epoch = self.database.ddl_epoch
+        plan = self._plan_cache.get(key)
+        if plan is None or plan.epoch != epoch:
+            table = self.database.table(_stmt_table(stmt))
+            plan = build_plan(stmt, table, epoch)
+            if len(self._plan_cache) >= _PLAN_CACHE_MAX:
+                self._plan_cache.clear()
+            self._plan_cache[key] = plan
+        return plan
 
     # -- visibility -----------------------------------------------------------
 
@@ -120,22 +156,30 @@ class Executor:
                     yield version
                     break
 
+    def _version_of(self, table: Table, row_id: int, ctx: ExecContext):
+        if self.versioned:
+            return table.visible_version(row_id, ctx.ts, ctx.gen)
+        chain = table.row_versions(row_id)
+        return chain[0] if chain else None
+
     def _matching(
         self,
         table: Table,
         where: Optional[ast.Expr],
         params: Sequence[object],
         ctx: ExecContext,
+        plan: Optional[ExecPlan] = None,
     ) -> List[RowVersion]:
+        if plan is not None:
+            candidates = self._plan_candidates(table, plan, params)
+            if candidates is not None:
+                return self._match_candidates(table, candidates, plan, params, ctx)
+            return self._plan_scan(table, plan, params, ctx)
         candidates = self._index_candidates(table, where, params)
         if candidates is not None:
             matched = []
             for row_id in sorted(candidates):
-                if self.versioned:
-                    version = table.visible_version(row_id, ctx.ts, ctx.gen)
-                else:
-                    chain = table.row_versions(row_id)
-                    version = chain[0] if chain else None
+                version = self._version_of(table, row_id, ctx)
                 if version is not None and (
                     where is None or truthy(evaluate(where, version.data, params))
                 ):
@@ -147,13 +191,95 @@ class Executor:
                 matched.append(version)
         return matched
 
+    # -- planned access paths ---------------------------------------------------
+
+    def _plan_candidates(
+        self, table: Table, plan: ExecPlan, params: Sequence[object]
+    ) -> Optional[set]:
+        """Candidate row IDs from the best index probe, or None to scan."""
+        best = None
+        for column, getter in plan.eq_probes:
+            value = getter(params)
+            if value is MISSING:
+                continue
+            rows = table.candidate_row_ids(column, value)
+            if rows is None:
+                continue
+            if best is None or len(rows) < len(best):
+                best = rows
+        if best is not None:
+            return best
+        if plan.range_probe is not None:
+            column, lo_getter, lo_incl, hi_getter, hi_incl = plan.range_probe
+            lo = hi = None
+            if lo_getter is not None:
+                lo = lo_getter(params)
+                if lo is MISSING or lo is None:
+                    return None
+            if hi_getter is not None:
+                hi = hi_getter(params)
+                if hi is MISSING or hi is None:
+                    return None
+            return table.range_candidate_row_ids(column, lo, lo_incl, hi, hi_incl)
+        return None
+
+    def _match_candidates(
+        self, table, candidates, plan: ExecPlan, params, ctx
+    ) -> List[RowVersion]:
+        pred = plan.pred
+        matched = []
+        for row_id in sorted(candidates):
+            version = self._version_of(table, row_id, ctx)
+            if version is not None and (pred is None or pred(version.data, params)):
+                matched.append(version)
+        return matched
+
+    def _plan_scan(self, table, plan: ExecPlan, params, ctx) -> List[RowVersion]:
+        pred = plan.pred
+        if pred is None:
+            return list(self._visible(table, ctx))
+        return [
+            version
+            for version in self._visible(table, ctx)
+            if pred(version.data, params)
+        ]
+
+    def _ordered_matched(
+        self, table: Table, plan: ExecPlan, params, ctx
+    ) -> Optional[List[RowVersion]]:
+        """Matched rows already in ORDER BY order, via the ordered value
+        index; equal-sort-key groups are merged and walked in row-ID order,
+        so the result matches a stable sort of the row-ID-ordered scan.
+
+        Deliberately no early termination at LIMIT: ``read_row_ids`` must
+        list *every* matched row (row-level read dependencies for the
+        taint baseline), so the traversal's win is skipping the sort, not
+        the scan."""
+        column, descending = plan.order_index
+        groups = table.ordered_groups(column, descending)
+        if groups is None:
+            return None
+        pred = plan.pred
+        matched = []
+        for group_key, row_ids in groups:
+            for row_id in row_ids:
+                version = self._version_of(table, row_id, ctx)
+                if version is None:
+                    continue
+                if order_key(version.data.get(column)) != group_key:
+                    continue  # stale index entry: row moved to another value
+                if pred is None or pred(version.data, params):
+                    matched.append(version)
+        return matched
+
     def _index_candidates(
         self,
         table: Table,
         where: Optional[ast.Expr],
         params: Sequence[object],
     ):
-        """Candidate row IDs from the equality index, or None to full-scan.
+        """Candidate row IDs from the equality index, or None to full-scan
+        (naive reference path).
 
         Only top-level AND-ed ``col = const`` conjuncts are considered; the
         index is a superset, so every candidate is still visibility- and
@@ -173,20 +299,45 @@ class Executor:
     # -- SELECT ---------------------------------------------------------------
 
     def _select(
-        self, stmt: ast.Select, params: Sequence[object], ctx: ExecContext
+        self,
+        stmt: ast.Select,
+        params: Sequence[object],
+        ctx: ExecContext,
+        plan: Optional[ExecPlan] = None,
     ) -> QueryResult:
         table = self.database.table(stmt.table)
-        matched = self._matching(table, stmt.where, params, ctx)
+        pre_sorted = False
+        if plan is not None:
+            candidates = self._plan_candidates(table, plan, params)
+            if candidates is not None:
+                matched = self._match_candidates(table, candidates, plan, params, ctx)
+            elif plan.order_index is not None and not stmt.is_aggregate:
+                ordered = self._ordered_matched(table, plan, params, ctx)
+                if ordered is not None:
+                    matched = ordered
+                    pre_sorted = True
+                else:
+                    matched = self._plan_scan(table, plan, params, ctx)
+            else:
+                matched = self._plan_scan(table, plan, params, ctx)
+        else:
+            matched = self._matching(table, stmt.where, params, ctx)
 
         if stmt.is_aggregate:
             datas = [version.data for version in matched]
             row: Dict[str, object] = {}
-            for index, item in enumerate(stmt.items):
-                name = item.alias or _default_name(item.expr, index)
-                if isinstance(item.expr, ast.Aggregate):
-                    row[name] = aggregate(item.expr.name, item.expr.arg, datas, params)
-                else:
-                    raise SqlError("cannot mix aggregates and plain columns")
+            if plan is not None:
+                for name, agg_fn in plan.agg_items:
+                    row[name] = agg_fn(datas, params)
+            else:
+                for index, item in enumerate(stmt.items):
+                    name = item.alias or default_name(item.expr, index)
+                    if isinstance(item.expr, ast.Aggregate):
+                        row[name] = aggregate(
+                            item.expr.name, item.expr.arg, datas, params
+                        )
+                    else:
+                        raise SqlError("cannot mix aggregates and plain columns")
             return QueryResult(
                 kind="select",
                 table=stmt.table,
@@ -195,22 +346,39 @@ class Executor:
                 read_row_ids=tuple(version.row_id for version in matched),
             )
 
-        if stmt.order_by:
-            matched.sort(
-                key=lambda v: tuple(
-                    _sort_key(evaluate(o.expr, v.data, params), o.descending)
-                    for o in stmt.order_by
+        if stmt.order_by and not pre_sorted:
+            if plan is not None:
+                sort_items = plan.sort_items
+                matched.sort(
+                    key=lambda v: tuple(
+                        sort_key(fn(v.data, params), descending)
+                        for fn, descending in sort_items
+                    )
                 )
-            )
+            else:
+                matched.sort(
+                    key=lambda v: tuple(
+                        sort_key(evaluate(o.expr, v.data, params), o.descending)
+                        for o in stmt.order_by
+                    )
+                )
 
         rows: List[Dict[str, object]] = []
-        for version in matched:
-            if stmt.is_star:
+        if stmt.is_star:
+            for version in matched:
                 rows.append(dict(version.data))
-            else:
+        elif plan is not None:
+            select_items = plan.select_items
+            for version in matched:
+                data = version.data
+                rows.append(
+                    {name: fn(data, params) for name, fn in select_items}
+                )
+        else:
+            for version in matched:
                 projected: Dict[str, object] = {}
                 for index, item in enumerate(stmt.items):
-                    name = item.alias or _default_name(item.expr, index)
+                    name = item.alias or default_name(item.expr, index)
                     projected[name] = evaluate(item.expr, version.data, params)
                 rows.append(projected)
 
@@ -238,21 +406,32 @@ class Executor:
     # -- INSERT ---------------------------------------------------------------
 
     def _insert(
-        self, stmt: ast.Insert, params: Sequence[object], ctx: ExecContext
+        self,
+        stmt: ast.Insert,
+        params: Sequence[object],
+        ctx: ExecContext,
+        plan: Optional[ExecPlan] = None,
     ) -> QueryResult:
         table = self.database.table(stmt.table)
         schema = table.schema
-        for column in stmt.columns:
-            if not schema.has_column(column):
-                raise StorageError(
-                    f"table {schema.name!r} has no column {column!r}"
-                )
         new_rows: List[Dict[str, object]] = []
-        for value_tuple in stmt.rows:
-            data = {col.name: None for col in schema.columns}
-            for column, expr in zip(stmt.columns, value_tuple):
-                data[column] = evaluate(expr, {}, params)
-            new_rows.append(data)
+        if plan is not None:
+            for row_builder in plan.insert_rows:
+                data = {col.name: None for col in schema.columns}
+                for column, value_fn in row_builder:
+                    data[column] = value_fn({}, params)
+                new_rows.append(data)
+        else:
+            for column in stmt.columns:
+                if not schema.has_column(column):
+                    raise StorageError(
+                        f"table {schema.name!r} has no column {column!r}"
+                    )
+            for value_tuple in stmt.rows:
+                data = {col.name: None for col in schema.columns}
+                for column, expr in zip(stmt.columns, value_tuple):
+                    data[column] = evaluate(expr, {}, params)
+                new_rows.append(data)
 
         # Uniqueness among rows visible *now* (plus the batch itself).
         for index, data in enumerate(new_rows):
@@ -292,6 +471,8 @@ class Executor:
             else:
                 version = RowVersion(row_id, data, start_ts=0)
             table.add_version(version)
+            if ctx.repair and ctx.journal is not None:
+                ctx.journal.note_created(table, version)
             inserted.append(row_id)
             partitions |= _partition_keys(schema, data)
         return QueryResult(
@@ -305,21 +486,36 @@ class Executor:
     # -- UPDATE ---------------------------------------------------------------
 
     def _update(
-        self, stmt: ast.Update, params: Sequence[object], ctx: ExecContext
+        self,
+        stmt: ast.Update,
+        params: Sequence[object],
+        ctx: ExecContext,
+        plan: Optional[ExecPlan] = None,
     ) -> QueryResult:
         table = self.database.table(stmt.table)
         schema = table.schema
-        for column, _ in stmt.assignments:
-            if not schema.has_column(column):
-                raise StorageError(f"table {schema.name!r} has no column {column!r}")
-        matched = self._matching(table, stmt.where, params, ctx)
+        if plan is None:
+            for column, _ in stmt.assignments:
+                if not schema.has_column(column):
+                    raise StorageError(
+                        f"table {schema.name!r} has no column {column!r}"
+                    )
+        matched = self._matching(table, stmt.where, params, ctx, plan)
 
         updates: List[Tuple[RowVersion, Dict[str, object]]] = []
-        for version in matched:
-            new_data = dict(version.data)
-            for column, expr in stmt.assignments:
-                new_data[column] = evaluate(expr, version.data, params)
-            updates.append((version, new_data))
+        if plan is not None:
+            assignments = plan.assignments
+            for version in matched:
+                new_data = dict(version.data)
+                for column, value_fn in assignments:
+                    new_data[column] = value_fn(version.data, params)
+                updates.append((version, new_data))
+        else:
+            for version in matched:
+                new_data = dict(version.data)
+                for column, expr in stmt.assignments:
+                    new_data[column] = evaluate(expr, version.data, params)
+                updates.append((version, new_data))
 
         # Uniqueness check before mutating anything.
         for version, new_data in updates:
@@ -334,26 +530,38 @@ class Executor:
                     error=f"unique constraint {violated} violated",
                 )
 
+        # When no assignment writes a partition (resp. indexed) column, the
+        # old and new rows have identical partition keys (index entries), so
+        # one computation covers both — observably identical, half the work.
+        partitions_once = plan is not None and not plan.touches_partitions
+        index_new_data = plan.touches_indexed if plan is not None else True
         partitions = set()
         affected = []
         for version, new_data in updates:
-            partitions |= _partition_keys(schema, version.data)
-            partitions |= _partition_keys(schema, new_data)
+            if partitions_once:
+                partitions |= _partition_keys(schema, new_data)
+            else:
+                partitions |= _partition_keys(schema, version.data)
+                partitions |= _partition_keys(schema, new_data)
             affected.append(version.row_id)
             if not self.versioned:
-                version.data = new_data
+                if index_new_data:
+                    table.replace_data(version, new_data)
+                else:
+                    version.data = new_data
                 continue
             self._supersede(table, version, ctx)
-            table.add_version(
-                RowVersion(
-                    version.row_id,
-                    new_data,
-                    start_ts=ctx.ts,
-                    end_ts=INFINITY,
-                    start_gen=ctx.gen,
-                    end_gen=INFINITY,
-                )
+            replacement = RowVersion(
+                version.row_id,
+                new_data,
+                start_ts=ctx.ts,
+                end_ts=INFINITY,
+                start_gen=ctx.gen,
+                end_gen=INFINITY,
             )
+            table.add_version(replacement, index_data=index_new_data)
+            if ctx.repair and ctx.journal is not None:
+                ctx.journal.note_created(table, replacement)
         return QueryResult(
             kind="update",
             table=stmt.table,
@@ -365,10 +573,14 @@ class Executor:
     # -- DELETE ---------------------------------------------------------------
 
     def _delete(
-        self, stmt: ast.Delete, params: Sequence[object], ctx: ExecContext
+        self,
+        stmt: ast.Delete,
+        params: Sequence[object],
+        ctx: ExecContext,
+        plan: Optional[ExecPlan] = None,
     ) -> QueryResult:
         table = self.database.table(stmt.table)
-        matched = self._matching(table, stmt.where, params, ctx)
+        matched = self._matching(table, stmt.where, params, ctx, plan)
         partitions = set()
         affected = []
         for version in matched:
@@ -394,11 +606,17 @@ class Executor:
         where: Optional[ast.Expr],
         params: Sequence[object],
         ctx: ExecContext,
+        stmt: Optional[ast.Statement] = None,
+        sql: Optional[str] = None,
     ) -> List[RowVersion]:
         """Rows a WHERE clause selects at (ts, gen) — used by two-phase
-        write re-execution to find the *new* matching row IDs (§4.2)."""
+        write re-execution to find the *new* matching row IDs (§4.2).
+        Hits the same compiled plans as normal execution when available."""
         table = self.database.table(table_name)
-        return self._matching(table, where, params, ctx)
+        plan = None
+        if self.use_planner and stmt is not None:
+            plan = self.plan_for(stmt, sql)
+        return self._matching(table, where, params, ctx, plan)
 
     # -- write plumbing ---------------------------------------------------------
 
@@ -415,7 +633,10 @@ class Executor:
             preserved.end_gen = ctx.current_gen
             table.add_version(preserved)
             version.start_gen = ctx.gen
-        version.end_ts = ctx.ts
+            if ctx.journal is not None:
+                ctx.journal.note_fenced(table, preserved)
+                ctx.journal.note_created(table, version)
+        table.close_version(version, ctx.ts)
 
 
 def _batch_conflict(
@@ -467,28 +688,13 @@ def _partition_keys(schema, data: Dict[str, object]) -> set:
     return keys
 
 
-def _default_name(expr: ast.Expr, index: int) -> str:
-    if isinstance(expr, ast.ColumnRef):
-        return expr.name
-    if isinstance(expr, ast.Aggregate):
-        return expr.name.lower()
-    return f"col{index}"
+def _stmt_table(stmt: ast.Statement) -> str:
+    name = getattr(stmt, "table", None)
+    if not name:
+        raise SqlError("statement has no target table")
+    return name
 
 
-def _sort_key(value, descending: bool):
-    """Total order across None/bool/int/float/str for ORDER BY."""
-    if value is None:
-        rank, key = 0, 0
-    elif isinstance(value, bool):
-        rank, key = 1, int(value)
-    elif isinstance(value, (int, float)):
-        rank, key = 1, value
-    else:
-        rank, key = 2, str(value)
-    if descending:
-        if rank == 2:
-            # Invert strings by negating each character's code point.
-            key = tuple(-ord(ch) for ch in key)
-            return (-rank, key)
-        return (-rank, -key)
-    return (rank, key)
+# Backwards-compatible aliases (historical home of these helpers).
+_default_name = default_name
+_sort_key = sort_key

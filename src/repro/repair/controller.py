@@ -19,6 +19,7 @@ generation, so the live generation keeps serving traffic untouched until
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import time as _time
 from dataclasses import dataclass
@@ -75,6 +76,13 @@ class RepairQueryRunner:
         self._matched = [False] * len(self._orig)
         self._cursor = 0
         self._ts_cursor = original.ts_start
+        #: Unmatched original indexes by SQL text (each list stays sorted);
+        #: _find is a dict hit plus a bisect instead of a wraparound rescan
+        #: of the whole query log per issued statement (O(n²) for runs with
+        #: many queries).
+        self._unmatched_by_sql: Dict[str, List[int]] = {}
+        for index, query in enumerate(self._orig):
+            self._unmatched_by_sql.setdefault(query.sql, []).append(index)
 
     def run(self, sql: str, params: Tuple[object, ...], seq: int) -> TTResult:
         index = self._find(sql)
@@ -93,13 +101,15 @@ class RepairQueryRunner:
         return [self.run(piece, (), -1) for piece in split_statements(sql)]
 
     def _find(self, sql: str) -> Optional[int]:
-        for index in range(self._cursor, len(self._orig)):
-            if not self._matched[index] and self._orig[index].sql == sql:
-                return index
-        for index in range(0, self._cursor):
-            if not self._matched[index] and self._orig[index].sql == sql:
-                return index
-        return None
+        """First unmatched original with this SQL at or after the cursor,
+        else (wraparound) the earliest unmatched one before it."""
+        candidates = self._unmatched_by_sql.get(sql)
+        if not candidates:
+            return None
+        pos = bisect.bisect_left(candidates, self._cursor)
+        if pos >= len(candidates):
+            pos = 0
+        return candidates.pop(pos)
 
     def undo_unmatched(self) -> None:
         for index, query in enumerate(self._orig):

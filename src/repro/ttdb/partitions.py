@@ -209,6 +209,183 @@ def _equality_constraint(
     return None
 
 
+class _ParamToken:
+    """Placeholder for an unknown parameter value during symbolic analysis.
+
+    Identity-equal only: comparing two *different* tokens (or a token with
+    a constant) means the analysis outcome could depend on runtime values,
+    so the template is abandoned (``flag.unsafe``) and that statement falls
+    back to per-execution analysis.  Comparing a token with itself is safe
+    (``params[i] == params[i]`` at runtime) and stays precise.
+    """
+
+    __slots__ = ("index", "_flag")
+
+    def __init__(self, index: int, flag: "_SafetyFlag") -> None:
+        self.index = index
+        self._flag = flag
+
+    def __eq__(self, other) -> bool:
+        if other is self:
+            return True
+        self._flag.unsafe = True
+        return False
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"?{self.index}"
+
+
+class _SafetyFlag:
+    __slots__ = ("unsafe",)
+
+    def __init__(self) -> None:
+        self.unsafe = False
+
+
+def _max_param_index(expr: Optional[ast.Expr]) -> int:
+    """Highest ``?`` index in ``expr``, or -1 when parameter-free."""
+    if expr is None:
+        return -1
+    best = -1
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Param):
+            best = max(best, node.index)
+        elif isinstance(node, ast.BinaryOp):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            stack.append(node.operand)
+        elif isinstance(node, ast.InList):
+            stack.append(node.needle)
+            stack.extend(node.items)
+        elif isinstance(node, ast.Like):
+            stack.append(node.operand)
+            stack.append(node.pattern)
+        elif isinstance(node, ast.Between):
+            stack.append(node.operand)
+            stack.append(node.low)
+            stack.append(node.high)
+        elif isinstance(node, ast.IsNull):
+            stack.append(node.operand)
+        elif isinstance(node, (ast.FuncCall, ast.Aggregate)):
+            args = node.args if isinstance(node, ast.FuncCall) else (
+                (node.arg,) if node.arg is not None else ()
+            )
+            stack.extend(args)
+    return best
+
+
+class _ReadSetPlan:
+    """Cached analysis for one statement shape.
+
+    ``mode`` is ``const`` (parameter-independent result), ``template``
+    (disjuncts with token slots to substitute per execution), or
+    ``dynamic`` (analysis outcome depends on parameter values; recompute
+    every time)."""
+
+    __slots__ = ("epoch", "mode", "read_set", "disjuncts", "n_params")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.mode = "dynamic"
+        self.read_set: Optional[ReadSet] = None
+        self.disjuncts: Tuple[Tuple[Constraint, ...], ...] = ()
+        self.n_params = 0
+
+    def instantiate(
+        self, stmt: ast.Statement, params: Sequence[object], schema: TableSchema
+    ) -> ReadSet:
+        if self.mode == "const":
+            assert self.read_set is not None
+            return self.read_set
+        if self.mode == "template":
+            if self.n_params > len(params):
+                # A referenced parameter is missing: the seed analysis
+                # treats it as non-constant, which the template cannot
+                # express — recompute.
+                return read_partitions(stmt, params, schema)
+            table = getattr(stmt, "table")
+            out = []
+            for disjunct in self.disjuncts:
+                items = []
+                for column, value in disjunct:
+                    if isinstance(value, _ParamToken):
+                        items.append((column, params[value.index]))
+                    else:
+                        items.append((column, value))
+                out.append(frozenset(items))
+            return ReadSet(table, tuple(out))
+        return read_partitions(stmt, params, schema)
+
+
+class ReadSetPlanner:
+    """Per-statement-shape cache for :func:`read_partitions`.
+
+    The analysis walks the WHERE AST on every execution in the seed; here
+    it runs once per ``(sql, table)`` shape — symbolically, with parameter
+    tokens — and each execution only substitutes parameter values.
+    Invalidated by ``Database.ddl_epoch`` (schema changes)."""
+
+    _CACHE_MAX = 4096
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, str], _ReadSetPlan] = {}
+
+    def read_set_for(
+        self,
+        sql: str,
+        stmt: ast.Statement,
+        params: Sequence[object],
+        schema: TableSchema,
+        epoch: int,
+    ) -> ReadSet:
+        key = (sql, schema.name)
+        plan = self._cache.get(key)
+        if plan is None or plan.epoch != epoch:
+            plan = self._build(stmt, schema, epoch)
+            if len(self._cache) >= self._CACHE_MAX:
+                self._cache.clear()
+            self._cache[key] = plan
+        return plan.instantiate(stmt, params, schema)
+
+    def _build(
+        self, stmt: ast.Statement, schema: TableSchema, epoch: int
+    ) -> _ReadSetPlan:
+        plan = _ReadSetPlan(epoch)
+        where = getattr(stmt, "where", None)
+        if isinstance(stmt, ast.Insert) or where is None or not schema.partition_columns:
+            plan.mode = "const"
+            plan.read_set = read_partitions(stmt, (), schema)
+            return plan
+        max_index = _max_param_index(where)
+        if max_index < 0:
+            plan.mode = "const"
+            plan.read_set = read_partitions(stmt, (), schema)
+            return plan
+        flag = _SafetyFlag()
+        tokens = tuple(_ParamToken(i, flag) for i in range(max_index + 1))
+        symbolic = read_partitions(stmt, tokens, schema)
+        if flag.unsafe:
+            plan.mode = "dynamic"
+            return plan
+        if symbolic.disjuncts is None:
+            # ALL partitions regardless of parameter values.
+            plan.mode = "const"
+            plan.read_set = symbolic
+            return plan
+        plan.mode = "template"
+        plan.n_params = max_index + 1
+        plan.disjuncts = tuple(
+            tuple(disjunct) for disjunct in symbolic.disjuncts
+        )
+        return plan
+
+
 class ModifiedPartitions:
     """Tracks which partitions repair has touched, and since when.
 

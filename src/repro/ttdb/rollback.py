@@ -7,6 +7,11 @@ re-extended to ``∞``.  The current generation's view must stay untouched
 (§4.3), so versions shared with the live generation are never mutated in a
 way the live generation can observe — they are either re-homed with a
 preserved copy or fenced off by ``end_gen``.
+
+All ``end_ts`` changes go through :meth:`Table.close_version` /
+:meth:`Table.reopen_version` so the table's live-version map stays exact,
+and every created/fenced version is reported to the repair journal (when
+given) so ``abort_repair`` can undo the repair in O(footprint).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ def rollback_row(
     ts: int,
     current_gen: int,
     repair_gen: int,
+    journal=None,
 ) -> Set[Tuple[str, str, object]]:
     """Roll back ``row_id`` to just before ``ts`` in ``repair_gen``.
 
@@ -40,7 +46,7 @@ def rollback_row(
         if not version.visible_in_gen(repair_gen):
             continue
         if version.start_ts >= ts:
-            _exclude_from_gen(table, version, current_gen, repair_gen)
+            _exclude_from_gen(table, version, current_gen, repair_gen, journal)
             touched |= _partition_keys(schema, version.data)
         else:
             survivors.append(version)
@@ -59,8 +65,11 @@ def rollback_row(
         extended.end_ts = INFINITY
         latest.end_gen = min(latest.end_gen, current_gen)
         table.add_version(extended)
+        if journal is not None:
+            journal.note_created(table, extended)
+            journal.note_fenced(table, latest)
     else:
-        latest.end_ts = INFINITY
+        table.reopen_version(latest)
     touched |= _partition_keys(schema, latest.data)
     return touched
 
@@ -71,13 +80,15 @@ def version_at(table: Table, row_id: int, ts: int, gen: int) -> Optional[RowVers
 
 
 def _exclude_from_gen(
-    table: Table, version: RowVersion, current_gen: int, repair_gen: int
+    table: Table, version: RowVersion, current_gen: int, repair_gen: int, journal
 ) -> None:
     if version.start_gen >= repair_gen:
         # Created during this repair: it can simply be discarded.
         table.remove_version(version)
     else:
         version.end_gen = current_gen
+        if journal is not None:
+            journal.note_fenced(table, version)
 
 
 def _partition_keys(schema, data) -> Set[Tuple[str, str, object]]:

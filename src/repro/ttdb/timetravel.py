@@ -21,9 +21,32 @@ from repro.core.errors import RepairError, SqlError
 from repro.db.executor import ExecContext, Executor, QueryResult
 from repro.db.sql import ast
 from repro.db.sql.parser import parse
-from repro.db.storage import Database, TableSchema
-from repro.ttdb.partitions import ReadSet, read_partitions
+from repro.db.storage import Database, Table, TableSchema
+from repro.db.storage import RowVersion
+from repro.ttdb.partitions import ReadSet, ReadSetPlanner, read_partitions
 from repro.ttdb.rollback import rollback_row as _rollback_row
+
+
+class RepairJournal:
+    """Versions touched by an active repair generation (paper §4.3).
+
+    ``created`` are versions whose ``start_gen`` was set into the repair
+    generation (new writes, re-homed originals); ``fenced`` are versions
+    whose ``end_gen`` was clamped to the live generation (preserved
+    copies, rollback exclusions).  ``abort_repair`` undoes exactly these,
+    making abort O(repair footprint) instead of O(database)."""
+
+    __slots__ = ("created", "fenced")
+
+    def __init__(self) -> None:
+        self.created: List[Tuple[Table, RowVersion]] = []
+        self.fenced: List[Tuple[Table, RowVersion]] = []
+
+    def note_created(self, table: Table, version: RowVersion) -> None:
+        self.created.append((table, version))
+
+    def note_fenced(self, table: Table, version: RowVersion) -> None:
+        self.fenced.append((table, version))
 
 
 @dataclass
@@ -85,6 +108,14 @@ class TimeTravelDB:
         #: Ablation switch: with partition analysis off, every query reads
         #: ALL partitions of its table (whole-table dependencies).
         self.partition_analysis = True
+        #: Ablation switch: with the cache off, partition analysis walks
+        #: the WHERE AST on every execution (the seed behavior) instead of
+        #: instantiating a per-statement-shape template.
+        self.use_read_set_cache = True
+        self._read_set_planner = ReadSetPlanner()
+        #: Versions created/fenced by the active repair generation; makes
+        #: ``abort_repair`` O(repair footprint).
+        self._journal: Optional[RepairJournal] = None
 
     # -- schema ----------------------------------------------------------------
 
@@ -139,6 +170,7 @@ class TimeTravelDB:
             current_gen=self.current_gen,
             repair=True,
             forced_row_ids=forced_row_ids,
+            journal=self._journal,
         )
         return self._run(stmt, sql, tuple(params), ctx)
 
@@ -152,20 +184,30 @@ class TimeTravelDB:
         if isinstance(stmt, ast.Insert):
             return ()
         ctx = ExecContext(
-            ts=ts, gen=self.repair_gen, current_gen=self.current_gen, repair=True
+            ts=ts,
+            gen=self.repair_gen,
+            current_gen=self.current_gen,
+            repair=True,
+            journal=self._journal,
         )
-        rows = self.executor.matching_rows(_table_of(stmt), where, tuple(params), ctx)
+        rows = self.executor.matching_rows(
+            _table_of(stmt), where, tuple(params), ctx, stmt=stmt, sql=sql
+        )
         return tuple(version.row_id for version in rows)
 
     def _run(
         self, stmt: ast.Statement, sql: str, params: Tuple[object, ...], ctx: ExecContext
     ) -> TTResult:
         schema = self.database.table(_table_of(stmt)).schema
-        if self.partition_analysis:
-            read_set = read_partitions(stmt, params, schema)
-        else:
+        if not self.partition_analysis:
             read_set = ReadSet(_table_of(stmt), disjuncts=None)
-        result = self.executor.execute(stmt, params, ctx)
+        elif self.use_read_set_cache:
+            read_set = self._read_set_planner.read_set_for(
+                sql, stmt, params, schema, self.database.ddl_epoch
+            )
+        else:
+            read_set = read_partitions(stmt, params, schema)
+        result = self.executor.execute(stmt, params, ctx, sql=sql)
         self.statements_executed += 1
         full_table_write = (
             isinstance(stmt, (ast.Update, ast.Delete)) and stmt.where is None
@@ -189,6 +231,7 @@ class TimeTravelDB:
         if not self.enabled:
             raise RepairError("time-travel is disabled; repair is impossible")
         self.repair_gen = self.current_gen + 1
+        self._journal = RepairJournal()
         return self.repair_gen
 
     def finalize_repair(self) -> None:
@@ -197,6 +240,7 @@ class TimeTravelDB:
             raise RepairError("no repair generation is active")
         self.current_gen = self.repair_gen
         self.repair_gen = None
+        self._journal = None
 
     def abort_repair(self) -> None:
         """Discard the repair generation, restoring the pre-repair state.
@@ -205,18 +249,32 @@ class TimeTravelDB:
         created during repair carry ``start_gen == repair_gen`` (dropped),
         and versions fenced away from the repair generation carry
         ``end_gen == current_gen`` (re-extended) — the live generation never
-        observes either.
+        observes either.  The repair journal records exactly those versions,
+        so abort is O(repair footprint), not a scan of every version of
+        every table; the scan remains as a fallback for restored states
+        with no journal.
         """
         if self.repair_gen is None:
             raise RepairError("no repair generation is active")
         repair_gen = self.repair_gen
-        for table in self.database.tables.values():
-            for version in list(table.all_versions()):
-                if version.start_gen >= repair_gen:
+        journal = self._journal
+        if journal is not None:
+            for table, version in journal.created:
+                chain = table.versions.get(version.row_id)
+                if chain is not None and any(v is version for v in chain):
                     table.remove_version(version)
-                elif version.end_gen == self.current_gen:
+            for table, version in journal.fenced:
+                if version.end_gen == self.current_gen:
                     version.end_gen = INFINITY
+        else:  # pragma: no cover - defensive fallback
+            for table in self.database.tables.values():
+                for version in list(table.all_versions()):
+                    if version.start_gen >= repair_gen:
+                        table.remove_version(version)
+                    elif version.end_gen == self.current_gen:
+                        version.end_gen = INFINITY
         self.repair_gen = None
+        self._journal = None
 
     # -- persistence ------------------------------------------------------------------
 
@@ -237,6 +295,7 @@ class TimeTravelDB:
         self.statements_executed = state["statements_executed"]
         self.partition_analysis = state.get("partition_analysis", True)
         self.repair_gen = None
+        self._journal = None
 
     # -- rollback -------------------------------------------------------------------
 
@@ -245,7 +304,9 @@ class TimeTravelDB:
         if self.repair_gen is None:
             raise RepairError("rollback requires an active repair generation")
         table = self.database.table(table_name)
-        return _rollback_row(table, row_id, ts, self.current_gen, self.repair_gen)
+        return _rollback_row(
+            table, row_id, ts, self.current_gen, self.repair_gen, self._journal
+        )
 
     # -- maintenance ------------------------------------------------------------------
 
