@@ -67,6 +67,12 @@ class ActionHistoryGraph:
         """Wall-clock seconds spent building indexes (Table 7 "Graph")."""
         return self.store.index_build_seconds
 
+    @property
+    def touch(self):
+        """The store's partition-touch connectivity index (eagerly
+        maintained); repair-group discovery walks components through it."""
+        return self.store.touch
+
     # -- recording (normal execution) -----------------------------------------
 
     def add_run(self, run: AppRunRecord) -> None:

@@ -51,6 +51,13 @@ class HttpServer:
         if self.suspended:
             return HttpResponse(status=503, body="server briefly suspended for repair")
 
+        # Resolve the route before consuming a queued cookie invalidation:
+        # a 404 never rebuilds the client's cookies, so it must not eat the
+        # pending deletion either.
+        script_name = self.script_for(request.path)
+        if script_name is None:
+            return HttpResponse(status=404, body=f"no route for {request.path}")
+
         client_id = request.client_id
         invalidated = client_id is not None and client_id in self.cookie_invalidation
         if invalidated:
@@ -60,11 +67,15 @@ class HttpServer:
             request.cookies.clear()
             self.cookie_invalidation.discard(client_id)
 
-        script_name = self.script_for(request.path)
-        if script_name is None:
-            return HttpResponse(status=404, body=f"no route for {request.path}")
-
-        response, record = self.runtime.execute(script_name, request)
+        try:
+            response, record = self.runtime.execute(script_name, request)
+        except Exception:
+            if invalidated:
+                # The queued invalidation was consumed above but the diverged
+                # cookie was never actually replaced on the client: re-queue
+                # it so the deletion still happens on the next contact.
+                self.cookie_invalidation.add(client_id)
+            raise
 
         if invalidated:
             for name in stale:

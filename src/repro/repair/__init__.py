@@ -6,6 +6,11 @@ re-execution manager; conflicts that cannot be auto-resolved are queued in
 ``ConflictQueue`` for the affected user.
 """
 
+from repro.repair.clusters import (
+    ClusteringFutile,
+    RepairGroup,
+    compute_repair_groups,
+)
 from repro.repair.conflicts import Conflict, ConflictQueue
 from repro.repair.controller import RepairController, RepairResult
 from repro.repair.stats import RepairStats
@@ -14,6 +19,9 @@ __all__ = [
     "RepairController",
     "RepairResult",
     "RepairStats",
+    "RepairGroup",
+    "compute_repair_groups",
+    "ClusteringFutile",
     "Conflict",
     "ConflictQueue",
 ]

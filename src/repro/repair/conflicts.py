@@ -11,7 +11,7 @@ our prototype offers (like the paper's) is *cancel the page visit*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Iterable, List, Optional, Set
 
 
 @dataclass
@@ -54,16 +54,38 @@ class ConflictQueue:
     def __init__(self) -> None:
         self._conflicts: List[Conflict] = []
 
-    def add(self, conflict: Conflict) -> None:
-        # One conflict per (client, visit): replay stops at the first one.
+    def add(self, conflict: Conflict, ignore_ids: Optional[Iterable[int]] = None) -> None:
+        """Queue a conflict.  One conflict per (client, visit): replay stops
+        at the first one.  ``ignore_ids`` (object ids) excludes conflicts
+        from the dedup — the repair controller passes its pre-repair
+        snapshot so a *stale* conflict left by an earlier repair never
+        masks a genuinely new conflict for the same visit (the new one must
+        be visible to this repair's abort check and result)."""
+        skip = frozenset(ignore_ids) if ignore_ids is not None else frozenset()
         for existing in self._conflicts:
             if (
                 not existing.resolved
+                and id(existing) not in skip
                 and existing.client_id == conflict.client_id
                 and existing.visit_id == conflict.visit_id
             ):
                 return
         self._conflicts.append(conflict)
+
+    def resolve_visit(self, client_id: str, visit_id: int) -> int:
+        """Resolve every pending conflict for one (client, visit) — used
+        when the visit itself is canceled, which moots all of them (they
+        may span repairs).  Returns how many were resolved."""
+        resolved = 0
+        for conflict in self._conflicts:
+            if (
+                not conflict.resolved
+                and conflict.client_id == client_id
+                and conflict.visit_id == visit_id
+            ):
+                conflict.resolved = True
+                resolved += 1
+        return resolved
 
     def pending(self, client_id: Optional[str] = None) -> List[Conflict]:
         return [

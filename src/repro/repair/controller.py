@@ -15,12 +15,27 @@ Repair is a time-ordered worklist over three kinds of items:
 All re-execution happens at original logical timestamps inside the repair
 generation, so the live generation keeps serving traffic untouched until
 ``finalize`` atomically switches generations (§4.3).
+
+The worklist is **dependency-clustered** (:mod:`repro.repair.clusters`):
+the initial damage set is split into taint-connected components, and each
+component runs as its own worklist — own ``ModifiedPartitions``, run and
+visit state, scheduled-qid set, and a group-scoped partition index —
+against the shared repair generation.  ``cluster_mode`` selects
+``"sequential"`` (default: groups processed one after another in
+deterministic damage-time order), ``"parallel"`` (one worker thread per
+group, item execution serialized by a controller lock — for the
+escape-free repairs the static components describe, groups are
+independent and the interleaving cannot change the outcome), or
+``"off"`` (the original monolithic global worklist, kept as the
+reference for the equivalence property test).  See DESIGN.md for the
+one bounded deviation escapes can introduce.
 """
 
 from __future__ import annotations
 
 import bisect
 import heapq
+import threading
 import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
@@ -44,6 +59,11 @@ from repro.db.sql import ast
 from repro.db.sql.parser import parse
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.server import HttpServer
+from repro.repair.clusters import (
+    ClusteringFutile,
+    RepairGroup,
+    compute_repair_groups,
+)
 from repro.repair.conflicts import Conflict, ConflictQueue
 from repro.repair.replay import BrowserReplayer, ReplayConfig
 from repro.repair.stats import RepairStats
@@ -144,20 +164,36 @@ class RepairController:
         self.ids = ids
         self.replayer = BrowserReplayer(self, replay_config)
 
+        #: Union of every group's modified partitions (the repair-wide
+        #: view used by finalize-time input-change checks and pruning).
         self.mods = ModifiedPartitions()
         self.stats = RepairStats()
-        self._heap: List[Tuple[int, int, str, object]] = []
-        self._heap_seq = 0
-        self._run_state: Dict[int, str] = {}
-        self._visit_state: Dict[Tuple[str, int], str] = {}
-        self._scheduled_qids: Set[int] = set()
+        #: Worklist groups.  Until an entry point plans clusters there is a
+        #: single global-scope group, which is also what ``cluster_mode ==
+        #: "off"`` and the manual ``_escalate``/``_process`` flow use.
+        self._groups: List[RepairGroup] = [RepairGroup(0, mods=self.mods)]
+        self._g: RepairGroup = self._groups[0]
+        #: qids of scheduled queries whose runs belong to *no* group
+        #: (untainted runs reached through the escape fallback); shared so
+        #: two escaping groups cannot schedule the same query twice.
+        self._orphan_qids: Set[int] = set()
+        #: O(1) ownership maps derived from the computed groups (kept in
+        #: sync by _plan_groups): which group a run / client belongs to.
+        self._run_home: Dict[int, RepairGroup] = {}
+        self._client_home: Dict[str, RepairGroup] = {}
+        #: When set, _note_modification defers propagation and collects the
+        #: damage keys instead (used to seed clustering for a retroactive
+        #: database fix, whose footprint is only known after execution).
+        self._pending_damage: Optional[List[Tuple[str, Set, int, bool]]] = None
         self._replacements: Dict[int, AppRunRecord] = {}
         self._new_runs: List[AppRunRecord] = []
-        #: Clients whose replay hit a conflict: their subsequent browser
-        #: activity is assumed unchanged (paper §5.4).
-        self._conflicted_clients: Set[str] = set()
-        self._counted_visits: Set[Tuple[str, int]] = set()
         self._active = False
+        #: Conflicts already pending when this repair began (queued for
+        #: users who have not logged in yet): never resolved, never counted,
+        #: and never a reason to abort an unrelated user undo.
+        self._prior_conflict_ids: Set[int] = set()
+        #: How to schedule repair groups: "sequential" | "parallel" | "off".
+        self.cluster_mode = "sequential"
         #: Ablation switches (see DESIGN.md / benchmarks/bench_ablations.py).
         #: §3.3 calls nondeterminism replay "strictly an optimization";
         #: pruning is the §5.3 identical-request short-circuit.
@@ -176,16 +212,26 @@ class RepairController:
         started = _time.perf_counter()
         graph_before = self.graph.graph_load_seconds
         self._begin()
-        self.stats.timer.push("init")
-        new_version = self.scripts.patch(file, exports)
-        self.graph.add_patch(
-            PatchRecord(file=file, new_version=new_version, apply_ts=apply_ts)
-        )
-        for run in self.graph.runs_loading_file(file, apply_ts):
-            self._escalate(run.run_id)
-        self.stats.timer.pop()
-        self._process()
-        self._finalize()
+        try:
+            self.stats.timer.push("init")
+            new_version = self.scripts.patch(file, exports)
+            self.graph.add_patch(
+                PatchRecord(file=file, new_version=new_version, apply_ts=apply_ts)
+            )
+            damaged = [
+                run.run_id for run in self.graph.runs_loading_file(file, apply_ts)
+            ]
+            groups = self._plan_groups(run_seeds=damaged)
+            for group in groups:
+                self._g = group
+                for run_id in group.seed_runs:
+                    self._escalate(run_id)
+            self.stats.timer.pop()
+            self._process()
+            self._finalize()
+        except Exception:
+            self._unwind_failed_repair()
+            raise
         return self._result(started, graph_before, aborted=False)
 
     def cancel_visit(
@@ -204,22 +250,36 @@ class RepairController:
         started = _time.perf_counter()
         graph_before = self.graph.graph_load_seconds
         self._begin()
-        self.stats.timer.push("init")
-        for target_id in self._visit_and_descendants(client_id, visit_id):
-            for run in self.graph.runs_of_visit(client_id, target_id):
-                self.cancel_run(run)
-            self._visit_state[(client_id, target_id)] = "canceled"
-        self.stats.timer.pop()
-        self._process()
+        try:
+            self.stats.timer.push("init")
+            targets = self._visit_and_descendants(client_id, visit_id)
+            target_runs = [
+                (target_id, self.graph.runs_of_visit(client_id, target_id))
+                for target_id in targets
+            ]
+            damaged = [run.run_id for _, runs in target_runs for run in runs]
+            # One client's visits always form a single taint component.
+            groups = self._plan_groups(run_seeds=damaged)
+            self._g = groups[0]
+            for target_id, runs in target_runs:
+                for run in runs:
+                    self.cancel_run(run)
+                self._g.visit_state[(client_id, target_id)] = "canceled"
+            self.stats.timer.pop()
+            self._process()
 
-        if not initiated_by_admin and not allow_conflicts:
-            others = {
-                c.client_id for c in self.conflicts.pending() if c.client_id != client_id
-            }
-            if others:
-                self._abort()
-                return self._result(started, graph_before, aborted=True)
-        self._finalize()
+            if not initiated_by_admin and not allow_conflicts:
+                created = self._repair_conflicts()
+                others = {c.client_id for c in created if c.client_id != client_id}
+                if others:
+                    self._abort()
+                    return self._result(
+                        started, graph_before, aborted=True, conflicts=created
+                    )
+            self._finalize()
+        except Exception:
+            self._unwind_failed_repair()
+            raise
         return self._result(started, graph_before, aborted=False)
 
     def _visit_and_descendants(self, client_id: str, visit_id: int) -> List[int]:
@@ -248,14 +308,21 @@ class RepairController:
         started = _time.perf_counter()
         graph_before = self.graph.graph_load_seconds
         self._begin()
-        self.stats.timer.push("init")
-        for run in self.graph.client_runs(client_id):
-            self.cancel_run(run)
-        for visit in self.graph.client_visits(client_id):
-            self._visit_state[(client_id, visit.visit_id)] = "canceled"
-        self.stats.timer.pop()
-        self._process()
-        self._finalize()
+        try:
+            self.stats.timer.push("init")
+            client_runs = self.graph.client_runs(client_id)
+            groups = self._plan_groups(run_seeds=[run.run_id for run in client_runs])
+            self._g = groups[0]
+            for run in client_runs:
+                self.cancel_run(run)
+            for visit in self.graph.client_visits(client_id):
+                self._g.visit_state[(client_id, visit.visit_id)] = "canceled"
+            self.stats.timer.pop()
+            self._process()
+            self._finalize()
+        except Exception:
+            self._unwind_failed_repair()
+            raise
         return self._result(started, graph_before, aborted=False)
 
     def retroactive_db_fix(
@@ -267,25 +334,94 @@ class RepairController:
         started = _time.perf_counter()
         graph_before = self.graph.graph_load_seconds
         self._begin()
+        try:
+            self._retroactive_db_fix(sql, params, ts)
+        except Exception:
+            self._unwind_failed_repair()
+            raise
+        return self._result(started, graph_before, aborted=False)
+
+    def _retroactive_db_fix(self, sql: str, params: Tuple[object, ...], ts: int) -> None:
         self.stats.timer.push("init")
-        self.reexec_statement(sql, params, ts, original=None)
+        if self.cluster_mode == "off":
+            self.reexec_statement(sql, params, ts, original=None)
+        else:
+            # The fix's footprint (its partitions) is known only after it
+            # executes: run it with propagation deferred, cluster from the
+            # collected damage keys, then replay the deferred modification
+            # notes into the (single) damaged group.
+            deferred: List[Tuple[str, Set, int, bool]] = []
+            self._pending_damage = deferred
+            try:
+                self.reexec_statement(sql, params, ts, original=None)
+            finally:
+                self._pending_damage = None
+            key_seeds: Set[Tuple[str, str, object]] = set()
+            full_tables: Set[str] = set()
+            for table, keys, _mod_ts, whole_table in deferred:
+                if whole_table:
+                    full_tables.add(table)
+                for key in keys:
+                    full = key if len(key) == 3 else (table,) + tuple(key)
+                    key_seeds.add(full)
+            groups = self._plan_groups(
+                key_seeds=sorted(key_seeds, key=repr),
+                full_table_seeds=sorted(full_tables),
+                damage_ts=ts,
+            )
+            self._g = groups[0]
+            for table, keys, mod_ts, whole_table in deferred:
+                self._note_modification(table, keys, mod_ts, whole_table)
         self.stats.timer.pop()
         self._process()
         self._finalize()
-        return self._result(started, graph_before, aborted=False)
 
-    def _result(self, started: float, graph_before: float, aborted: bool) -> RepairResult:
+    def _result(
+        self,
+        started: float,
+        graph_before: float,
+        aborted: bool,
+        conflicts: Optional[List[Conflict]] = None,
+    ) -> RepairResult:
         self.stats.total_seconds = _time.perf_counter() - started
         self.stats.graph_seconds = self.graph.graph_load_seconds - graph_before
         self.stats.total_visits = self.graph.n_visits
         self.stats.total_runs = self.graph.n_runs
         self.stats.total_queries = self.graph.n_queries
-        self.stats.conflicts = len(self.conflicts.pending())
+        # Repair-scoped conflict accounting: only conflicts *this* repair
+        # created count (and, for an aborted undo, the list captured before
+        # the abort resolved them) — stale conflicts queued by an earlier
+        # repair belong to that repair's report, not this one's.
+        repair_conflicts = (
+            list(conflicts) if conflicts is not None else self._repair_conflicts()
+        )
+        self.stats.conflicts = len(repair_conflicts)
+        attributed = 0
+        scoped_any = False
+        for group in self._groups:
+            if not group.scoped:
+                continue
+            scoped_any = True
+            row = group.describe()
+            row["conflicts"] = sum(
+                1 for c in repair_conflicts if c.client_id in group.clients
+            )
+            attributed += row["conflicts"]
+            self.stats.groups.append(row)
+            self.stats.escaped_keys += group.escaped_keys
+            self.stats.clusters_seconds += group.index_build_seconds
+        if scoped_any and attributed < len(repair_conflicts):
+            # Conflicts for orphan clients (reached only through escaped
+            # propagation) belong to no component; record them so the
+            # per-group fold-in still reconciles with stats.conflicts.
+            self.stats.groups.append(
+                {"group": 0, "orphan": True, "conflicts": len(repair_conflicts) - attributed}
+            )
         return RepairResult(
             ok=not aborted,
             aborted=aborted,
             stats=self.stats,
-            conflicts=self.conflicts.pending(),
+            conflicts=repair_conflicts,
         )
 
     # ------------------------------------------------------------------ lifecycle
@@ -297,26 +433,205 @@ class RepairController:
         self.server.repair_active = True
         self.server.pending_during_repair = []
         self._active = True
+        # Conflicts pending from earlier repairs are out of scope for this
+        # one: they must survive an abort and never trigger one.
+        self._prior_conflict_ids = {id(c) for c in self.conflicts.pending()}
+
+    def _repair_conflicts(self) -> List[Conflict]:
+        """Unresolved conflicts created by *this* repair."""
+        return [
+            c
+            for c in self.conflicts.pending()
+            if id(c) not in self._prior_conflict_ids
+        ]
+
+    def _plan_groups(
+        self,
+        run_seeds=(),
+        key_seeds=(),
+        full_table_seeds=(),
+        damage_ts: int = 0,
+    ) -> List[RepairGroup]:
+        """Split the damage set into repair groups (honoring cluster_mode).
+
+        Always returns at least one group; with clustering off (or an empty
+        damage set) that is the controller's global-scope worklist."""
+        run_seeds = list(run_seeds)
+        global_group = self._groups[0]
+        if self.cluster_mode == "off" or not (
+            run_seeds or key_seeds or full_table_seeds
+        ):
+            global_group.seed_runs.extend(run_seeds)
+            return [global_group]
+        started = _time.perf_counter()
+        try:
+            groups = compute_repair_groups(
+                self.graph,
+                run_seeds=run_seeds,
+                key_seeds=key_seeds,
+                full_table_seeds=full_table_seeds,
+                damage_ts=damage_ts,
+            )
+        except ClusteringFutile:
+            groups = []
+        self.stats.clusters_seconds += _time.perf_counter() - started
+        if not groups:
+            # Clustering was futile (the damage component spans most of the
+            # workload): keep the monolithic worklist and its global index.
+            global_group.seed_runs.extend(run_seeds)
+            return [global_group]
+        self._groups = groups
+        self._g = groups[0]
+        self.stats.n_groups = len(groups)
+        for group in groups:
+            for run_id in group.run_ids or ():
+                self._run_home[run_id] = group
+            for client_id in group.clients:
+                self._client_home[client_id] = group
+        return groups
 
     def _process(self) -> None:
-        while self._heap:
-            ts, _, kind, payload = heapq.heappop(self._heap)
-            if kind == "query":
-                self._process_query(payload)  # type: ignore[arg-type]
-            elif kind == "run":
-                self._process_run(payload)  # type: ignore[arg-type]
-            elif kind == "visit":
-                self._process_visit(payload)  # type: ignore[arg-type]
-            if self.step_hook is not None:
-                self.step_hook()
+        scoped = [group for group in self._groups if group.scoped]
+        if self.cluster_mode == "parallel" and len(scoped) > 1:
+            self._process_parallel()
+            return
+        ordered = sorted(self._groups, key=lambda g: (g.first_damage_ts, g.group_id))
+        # Escaped propagation can feed a group that already drained (its
+        # damage reached a query of an earlier group): keep sweeping until
+        # every heap settles.  Per-group qid dedup bounds the loop.
+        while any(group.heap for group in ordered):
+            for group in ordered:
+                if group.heap:
+                    self._process_group(group)
+
+    def _process_group(self, group: RepairGroup) -> None:
+        started = _time.perf_counter()
+        previous = self._g
+        self._g = group
+        try:
+            while group.heap:
+                _, _, kind, payload = heapq.heappop(group.heap)
+                self._dispatch(kind, payload)
+                if self.step_hook is not None:
+                    self.step_hook()
+        finally:
+            self._g = previous
+            group.seconds += _time.perf_counter() - started
+
+    def _process_parallel(self) -> None:
+        """One worker per group; item execution serialized by a controller
+        lock (the runtime, database and stats are shared).  On escape-free
+        repairs the groups are independent components, so the cross-group
+        interleaving cannot change the outcome — this is the structural
+        scaffold that later sharded/multi-process repair slots into."""
+        lock = threading.Lock()
+        errors: List[BaseException] = []
+
+        def drain(group: RepairGroup) -> None:
+            while True:
+                with lock:
+                    if errors or not group.heap:
+                        return
+                    started = _time.perf_counter()
+                    self._g = group
+                    _, _, kind, payload = heapq.heappop(group.heap)
+                    try:
+                        self._dispatch(kind, payload)
+                        if self.step_hook is not None:
+                            self.step_hook()
+                    except BaseException as exc:  # re-raised on the caller
+                        errors.append(exc)
+                    finally:
+                        group.seconds += _time.perf_counter() - started
+
+        # Sweep until every heap settles: escaped propagation may refill a
+        # group whose worker already exited.
+        while True:
+            threads = [
+                threading.Thread(target=drain, args=(group,), daemon=True)
+                for group in self._groups
+                if group.heap
+            ]
+            if not threads:
+                break
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+
+    def _dispatch(self, kind: str, payload) -> None:
+        if kind == "query":
+            self._process_query(payload)
+        elif kind == "run":
+            self._process_run(payload)
+        elif kind == "visit":
+            self._process_visit(payload)
+
+    def _run_state_anywhere(self, run_id: int) -> Optional[str]:
+        for group in self._groups:
+            state = group.run_state.get(run_id)
+            if state is not None:
+                return state
+        return None
+
+    # Escaped propagation can hand a group a *foreign* run — one outside
+    # its static component.  State checks for foreign runs must consult
+    # every group (the run's home group may already have re-executed,
+    # replayed, or conflict-silenced it); member runs keep the group-local
+    # fast path, which is also exactly the monolithic behavior for the
+    # global-scope group.
+
+    def _effective_run_state(self, run_id: int) -> Optional[str]:
+        group = self._g
+        state = group.run_state.get(run_id)
+        if state is not None or group.member_run(run_id):
+            return state
+        home = self._run_home.get(run_id)
+        if home is not None:
+            return home.run_state.get(run_id)
+        # Orphan run (no home group): any escaping group may have touched it.
+        return self._run_state_anywhere(run_id)
+
+    def _effective_visit_state(self, client_id, visit_id) -> Optional[str]:
+        group = self._g
+        key = (client_id, visit_id)
+        state = group.visit_state.get(key)
+        if state is not None or not group.scoped or client_id in group.clients:
+            return state
+        home = self._client_home.get(client_id)
+        if home is not None:
+            return home.visit_state.get(key)
+        for other in self._groups:
+            state = other.visit_state.get(key)
+            if state is not None:
+                return state
+        return None
+
+    def _client_conflicted(self, client_id) -> bool:
+        group = self._g
+        if client_id in group.conflicted_clients:
+            return True
+        if client_id is None or not group.scoped or client_id in group.clients:
+            return False
+        home = self._client_home.get(client_id)
+        if home is not None:
+            return client_id in home.conflicted_clients
+        return any(client_id in other.conflicted_clients for other in self._groups)
 
     def _finalize(self) -> None:
-        # Re-apply requests that arrived while repair was running (§4.3).
+        # Re-apply requests that arrived while repair was running (§4.3),
+        # in a fresh global-scope worklist context (they are new traffic,
+        # not members of any damage component).
+        pending_group = RepairGroup(-1, mods=self.mods)
+        self._groups.append(pending_group)
+        self._g = pending_group
         for run_id in list(self.server.pending_during_repair):
             run = self.graph.runs.get(run_id)
             if run is None:
                 continue
-            if self._run_state.get(run_id) in ("done", "canceled"):
+            if self._run_state_anywhere(run_id) in ("done", "canceled"):
                 continue
             if self._inputs_changed(run):
                 self._reexec_run(run, run.request, conflict_on_change=False)
@@ -330,9 +645,27 @@ class RepairController:
             self.server.cookie_invalidation.add(client_id)
         self._active = False
 
+    def _unwind_failed_repair(self) -> None:
+        """A raising script propagates out of the entry point: abort the
+        half-mutated repair generation (so the live state is untouched and
+        a retry with fixed code simply works) and unwind the server flags —
+        otherwise live traffic queues behind a dead repair and every later
+        ``begin_repair`` fails with "already active"."""
+        self.server.suspended = False
+        if self.ttdb.repair_gen is not None:
+            self._abort()
+        else:
+            # The failure happened after the generation switch (finalize):
+            # nothing to abort, just release the flags.
+            self.server.repair_active = False
+            self._active = False
+
     def _abort(self) -> None:
         self.ttdb.abort_repair()
-        for conflict in self.conflicts.pending():
+        # Resolve only the conflicts this repair created: stale conflicts
+        # queued for users who have not logged in yet belong to an earlier,
+        # *finalized* repair and must survive.
+        for conflict in self._repair_conflicts():
             self.conflicts.resolve(conflict)
         self.server.repair_active = False
         self._active = False
@@ -359,22 +692,34 @@ class RepairController:
 
     # ------------------------------------------------------------------ scheduling
 
+    def _bump(self, name: str, n: int = 1) -> None:
+        """Increment a re-execution counter on the shared stats and on the
+        active group's fold-in row."""
+        setattr(self.stats, name, getattr(self.stats, name) + n)
+        counters = self._g.counters
+        if name in counters:
+            counters[name] += n
+
     def _schedule(self, ts: int, kind: str, payload) -> None:
-        self._heap_seq += 1
-        heapq.heappush(self._heap, (ts, self._heap_seq, kind, payload))
+        self._g.schedule(ts, kind, payload)
 
     def _escalate(self, run_id: int) -> None:
         """A run's inputs (or outputs) changed: queue it for re-execution,
         at the browser level when a client-side log exists."""
+        group = self._g
         run = self.graph.runs.get(run_id)
-        if run is None or self._run_state.get(run_id) in ("queued", "done", "canceled"):
+        if run is None or self._effective_run_state(run_id) in (
+            "queued",
+            "done",
+            "canceled",
+        ):
             return
         visit = self.graph.visit_of_run(run)
-        if run.client_id in self._conflicted_clients:
+        if self._client_conflicted(run.client_id):
             # §5.4: after a conflict, this browser is no longer replayed —
             # its requests are assumed unchanged, so affected runs
             # re-execute server-side with the recorded request.
-            self._run_state[run_id] = "queued"
+            group.run_state[run_id] = "queued"
             self._schedule(run.ts_start, "run", run)
             return
         if self.replayer.can_replay(visit):
@@ -384,15 +729,15 @@ class RepairController:
             # fresh CSRF tokens flow into the re-executed request).
             for candidate in self._replay_chain(visit):
                 key = (candidate.client_id, candidate.visit_id)
-                state = self._visit_state.get(key)
+                state = self._effective_visit_state(*key)
                 if state == "queued":
                     return
                 if state is None:
-                    self._visit_state[key] = "queued"
+                    group.visit_state[key] = "queued"
                     self._schedule(candidate.ts, "visit", candidate)
                     return
             # Entire chain already replayed: fall through to the run level.
-        self._run_state[run_id] = "queued"
+        group.run_state[run_id] = "queued"
         self._schedule(run.ts_start, "run", run)
 
     def _replay_chain(self, visit: VisitRecord) -> List[VisitRecord]:
@@ -412,32 +757,37 @@ class RepairController:
     def note_visit_replayed(self, client_id: str, visit_id: int) -> None:
         """Called by the replay session when a visit gets mapped into a
         clone: its standalone queue entry (if any) must become a no-op."""
-        self._visit_state[(client_id, visit_id)] = "done"
+        group = self._g
         key = (client_id, visit_id)
-        if key not in self._counted_visits:
-            self._counted_visits.add(key)
-            self.stats.visits_reexecuted += 1
+        group.visit_state[key] = "done"
+        if key not in group.counted_visits:
+            group.counted_visits.add(key)
+            self._bump("visits_reexecuted")
 
     # ------------------------------------------------------------------ worklist items
 
     def _process_query(self, query: QueryRecord) -> None:
-        run_state = self._run_state.get(query.run_id)
+        group = self._g
+        run_state = self._effective_run_state(query.run_id)
         if run_state in ("queued", "done", "canceled"):
             return
         run = self.graph.runs.get(query.run_id)
         if run is None or run.canceled:
             return
-        visit_key = (run.client_id, run.visit_id)
-        if run.client_id is not None and self._visit_state.get(visit_key) in (
+        if run.client_id is not None and self._effective_visit_state(
+            run.client_id, run.visit_id
+        ) in (
             "queued",
             "done",
             "conflict",
             "canceled",
         ):
             return
-        affected = self.mods.affects(query.read_set, query.ts) or (
+        affected = group.mods.affects(query.read_set, query.ts) or (
             query.is_write
-            and self.mods.affects_keys(query.table, query.written_partitions, query.ts)
+            and group.mods.affects_keys(
+                query.table, query.written_partitions, query.ts
+            )
         )
         if not affected:
             return
@@ -448,18 +798,19 @@ class RepairController:
             self._escalate(query.run_id)
 
     def _process_run(self, run: AppRunRecord) -> None:
-        if self._run_state.get(run.run_id) in ("done", "canceled"):
+        if self._effective_run_state(run.run_id) in ("done", "canceled"):
             return
-        already_conflicted = run.client_id in self._conflicted_clients
+        already_conflicted = self._client_conflicted(run.client_id)
         self._reexec_run(run, run.request, conflict_on_change=not already_conflicted)
 
     def _process_visit(self, visit: VisitRecord) -> None:
+        group = self._g
         key = (visit.client_id, visit.visit_id)
-        if self._visit_state.get(key) == "done":
+        if self._effective_visit_state(*key) == "done":
             return
-        if visit.client_id in self._conflicted_clients:
+        if self._client_conflicted(visit.client_id):
             return
-        self._visit_state[key] = "done"
+        group.visit_state[key] = "done"
         self.stats.timer.push("firefox")
         self.replayer.replay_visit(visit)
         self.stats.timer.pop()
@@ -479,7 +830,7 @@ class RepairController:
         WHERE clause matches, roll back original ∪ new rows to just before
         ``ts``, then execute.
         """
-        self.stats.queries_reexecuted += 1
+        self._bump("queries_reexecuted")
         stmt = parse(sql)
         if not ast.is_write(stmt):
             return self.ttdb.execute_at(sql, params, ts)
@@ -514,11 +865,12 @@ class RepairController:
 
     def cancel_run(self, run: AppRunRecord) -> None:
         """Undo every write of a canceled request (paper §5.4, §5.5)."""
-        if self._run_state.get(run.run_id) == "canceled":
+        group = self._g
+        if self._effective_run_state(run.run_id) == "canceled":
             return
-        self._run_state[run.run_id] = "canceled"
+        group.run_state[run.run_id] = "canceled"
         self.graph.mark_run_canceled(run.run_id)
-        self.stats.runs_canceled += 1
+        self._bump("runs_canceled")
         for query in run.queries:
             if query.is_write:
                 self.undo_query(query)
@@ -526,21 +878,79 @@ class RepairController:
     def _note_modification(
         self, table: str, keys, ts: int, whole_table: bool = False
     ) -> None:
-        if whole_table:
-            self.mods.record_all(table, ts)
-        if keys:
-            self.mods.record(table, keys, ts)
+        if self._pending_damage is not None:
+            # Staging a retroactive fix: collect the damage footprint,
+            # cluster first, propagate after.  Replaying the deferred notes
+            # records them into the chosen group's mods *and* the
+            # repair-wide union, so nothing is recorded here.
+            if keys or whole_table:
+                self._pending_damage.append((table, set(keys), ts, whole_table))
+            return
+        group = self._g
+        targets = [group.mods]
+        if group.mods is not self.mods:
+            targets.append(self.mods)
+        for mods in targets:
+            if whole_table:
+                mods.record_all(table, ts)
+            if keys:
+                mods.record(table, keys, ts)
         if not keys and not whole_table:
             return
         self._propagate(table, keys, ts, whole_table)
 
+    def _home_group(self, run_id: int) -> Optional[RepairGroup]:
+        return self._run_home.get(run_id)
+
     def _propagate(self, table: str, keys, ts: int, whole_table: bool) -> None:
-        candidates = self.graph.queries_touching(table, keys, ts, whole_table)
+        group = self._g
+        if group.scoped:
+            self._broadcast_escaped_mods(group, table, keys, ts, whole_table)
+        candidates = group.queries_touching(self.graph, table, keys, ts, whole_table)
         for query in candidates:
-            if query.qid in self._scheduled_qids:
+            qid = query.qid
+            if group.member_run(query.run_id):
+                target = group
+            else:
+                # Escaped past the static component: route the query to its
+                # home group so it is evaluated once, in its own worklist's
+                # time order, against its own group's modification state.
+                target = self._home_group(query.run_id)
+                if target is None:
+                    # Untainted run (no home): evaluate here, deduped
+                    # controller-wide so two escaping groups cannot both
+                    # schedule it.
+                    if qid in self._orphan_qids:
+                        continue
+                    self._orphan_qids.add(qid)
+                    target = group
+            if qid in target.scheduled_qids:
                 continue
-            self._scheduled_qids.add(query.qid)
-            self._schedule(query.ts, "query", query)
+            target.scheduled_qids.add(qid)
+            target.schedule(query.ts, "query", query)
+
+    def _broadcast_escaped_mods(
+        self, group: RepairGroup, table: str, keys, ts: int, whole_table: bool
+    ) -> None:
+        """A modification outside the group's static footprint must be
+        visible to every other group's affects-gating (their queries may
+        read it); the repair-wide union in ``self.mods`` already has it for
+        finalize-time checks.  Escapes are rare, so the fan-out is cheap."""
+        uncovered = [
+            key if len(key) == 3 else (table,) + tuple(key)
+            for key in keys
+            if not group.covers(key if len(key) == 3 else (table,) + tuple(key))
+        ]
+        escaped_whole = whole_table and table not in group.covered_tables
+        if not uncovered and not escaped_whole:
+            return
+        for other in self._groups:
+            if other is group or not other.scoped:
+                continue
+            if escaped_whole:
+                other.mods.record_all(table, ts)
+            if uncovered:
+                other.mods.record(table, uncovered, ts)
 
     # ------------------------------------------------------------------ run re-execution
 
@@ -550,10 +960,11 @@ class RepairController:
         request: HttpRequest,
         conflict_on_change: bool,
     ) -> HttpResponse:
+        group = self._g
         self.stats.timer.push("app")
-        self._run_state[run.run_id] = "done"
         script_name = self.server.script_for(request.path)
         if script_name is None:
+            group.run_state[run.run_id] = "done"
             self.stats.timer.pop()
             return HttpResponse(status=404, body=f"no route for {request.path}")
         if self.use_nondet_replay:
@@ -561,15 +972,28 @@ class RepairController:
         else:
             nondet = NondetReplayer([], self.runtime.nondet_source)
         runner = RepairQueryRunner(self, run)
-        response, record = self.runtime.execute(
-            script_name,
-            request,
-            query_runner=runner,
-            nondet=nondet,
-            ts_start=run.ts_start,
-        )
+        try:
+            response, record = self.runtime.execute(
+                script_name,
+                request,
+                query_runner=runner,
+                nondet=nondet,
+                ts_start=run.ts_start,
+            )
+        except Exception as exc:
+            # A script that raises mid-repair must not leave the run marked
+            # "done" over a half-mutated generation: record the failure as
+            # a conflict for the affected user and re-raise so the caller
+            # can abort the repair generation cleanly.
+            group.run_state[run.run_id] = "failed"
+            self.stats.timer.pop()
+            self.report_conflict_for_run(
+                run, f"script raised during repair re-execution: {exc!r}"
+            )
+            raise
+        group.run_state[run.run_id] = "done"
         runner.undo_unmatched()
-        self.stats.runs_reexecuted += 1
+        self._bump("runs_reexecuted")
         self.stats.nondet_misses += nondet.misses
         self._replacements[run.run_id] = record
         self.stats.timer.pop()
@@ -603,7 +1027,7 @@ class RepairController:
         response, record = self.runtime.execute(
             script_name, request, query_runner=runner, ts_start=ts
         )
-        self.stats.runs_reexecuted += 1
+        self._bump("runs_reexecuted")
         self._new_runs.append(record)
         self.stats.timer.pop()
         return response
@@ -621,7 +1045,8 @@ class RepairController:
         run, ts = session.match_request(clone_visit_id, request)
         if run is None:
             return self._exec_new_run(request, ts)
-        state = self._run_state.get(run.run_id)
+        group = self._g
+        state = self._effective_run_state(run.run_id)
         if state == "done":
             replacement = self._replacements.get(run.run_id)
             return replacement.response if replacement else run.response
@@ -633,8 +1058,8 @@ class RepairController:
             and not self._inputs_changed(run)
         ):
             # Prune: identical request with unchanged inputs (§5.3).
-            self._run_state[run.run_id] = "done"
-            self.stats.runs_pruned += 1
+            group.run_state[run.run_id] = "done"
+            self._bump("runs_pruned")
             return run.response
         return self._reexec_run(run, request, conflict_on_change=False)
 
@@ -654,6 +1079,9 @@ class RepairController:
     # ------------------------------------------------------------------ conflicts
 
     def report_conflict(self, visit: VisitRecord, event: EventRecord, reason: str) -> None:
+        # ignore_ids: a stale conflict from an earlier repair for the same
+        # visit must not mask this repair's own conflict (the new one
+        # drives this repair's abort check and result).
         self.conflicts.add(
             Conflict(
                 client_id=visit.client_id,
@@ -661,10 +1089,11 @@ class RepairController:
                 url=visit.url,
                 reason=reason,
                 event_desc=f"{event.etype} on {event.xpath}",
-            )
+            ),
+            ignore_ids=self._prior_conflict_ids,
         )
-        self._visit_state[(visit.client_id, visit.visit_id)] = "conflict"
-        self._conflicted_clients.add(visit.client_id)
+        self._g.visit_state[(visit.client_id, visit.visit_id)] = "conflict"
+        self._g.conflicted_clients.add(visit.client_id)
 
     def report_conflict_for_run(self, run: AppRunRecord, reason: str) -> None:
         self.conflicts.add(
@@ -673,7 +1102,8 @@ class RepairController:
                 visit_id=run.visit_id or 0,
                 url=run.request.path,
                 reason=reason,
-            )
+            ),
+            ignore_ids=self._prior_conflict_ids,
         )
         if run.client_id is not None:
-            self._conflicted_clients.add(run.client_id)
+            self._g.conflicted_clients.add(run.client_id)

@@ -53,6 +53,15 @@ class RepairStats:
     timer: PhaseTimer = field(default_factory=PhaseTimer)
     total_seconds: float = 0.0
     graph_seconds: float = 0.0
+    #: Dependency-clustered repair (repro.repair.clusters): how many
+    #: independent repair groups the damage set split into (0 = the
+    #: monolithic global worklist), time spent discovering components and
+    #: building group-scoped partition indexes, keys whose propagation had
+    #: to fall back to the global index, and one counter row per group.
+    n_groups: int = 0
+    clusters_seconds: float = 0.0
+    escaped_keys: int = 0
+    groups: List[Dict[str, object]] = field(default_factory=list)
 
     def breakdown(self) -> Dict[str, float]:
         """Named time buckets in the paper's Table 7 layout."""
@@ -75,6 +84,7 @@ class RepairStats:
             "runs": f"{self.runs_reexecuted} / {self.total_runs}",
             "queries": f"{self.queries_reexecuted} / {self.total_queries}",
             "conflicts": self.conflicts,
+            "groups": self.n_groups,
         }
         out.update({k: round(v, 4) for k, v in self.breakdown().items()})
         return out

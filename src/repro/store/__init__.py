@@ -13,7 +13,7 @@ cost must follow the attack footprint, not the workload size, which is
 only true if dependency lookups never touch unrelated records.
 """
 
-from repro.store.recordstore import RecordStore
+from repro.store.recordstore import RecordStore, TouchIndex
 from repro.store.wal import RecordWal
 
-__all__ = ["RecordStore", "RecordWal"]
+__all__ = ["RecordStore", "RecordWal", "TouchIndex"]

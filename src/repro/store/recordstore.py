@@ -46,6 +46,133 @@ PartitionKey = Tuple[str, str, object]
 #: Sorts after any qid in a bucket entry ``(ts, qid, query)``.
 _AFTER_ANY_QID = float("inf")
 
+_EMPTY_SET: frozenset = frozenset()
+
+
+def partition_index_keys(query: QueryRecord) -> Tuple[List[PartitionKey], bool]:
+    """The full ``(table, column, value)`` keys a query's partition-bucket
+    entries live under, plus whether it belongs in the ALL bucket.
+
+    Single source of truth for both the store's global partition index and
+    the per-group indexes in :mod:`repro.repair.clusters` — the escape
+    path mixes lookups from both, so their key derivation must never
+    drift.
+    """
+    table = query.table
+    keys = set(query.written_partitions)
+    keys |= {(table,) + tuple(k) for k in query.read_set.keys()}
+    full_keys = [key if len(key) == 3 else (table,) + tuple(key) for key in keys]
+    return full_keys, bool(query.read_set.is_all or query.full_table_write)
+
+
+def merge_bucket_tails(buckets, since_ts: int) -> List[QueryRecord]:
+    """Distinct queries with ``ts > since_ts`` across pre-sorted
+    ``(ts, qid, query)`` buckets, in timestamp order: bisect each bucket's
+    tail, heap-merge, dedupe by qid — never a re-sort."""
+    cut = (since_ts, _AFTER_ANY_QID)
+    tails = []
+    for bucket in buckets:
+        start = bisect.bisect_right(bucket, cut)
+        if start < len(bucket):
+            tails.append(bucket[start:])
+    seen: Set[int] = set()
+    out: List[QueryRecord] = []
+    for _, qid, query in heapq.merge(*tails):
+        if qid not in seen:
+            seen.add(qid)
+            out.append(query)
+    return out
+
+
+class TouchIndex:
+    """Partition-touch connectivity: which runs read/write which partitions.
+
+    Maintained **eagerly** at append time (the paper's philosophy: pay
+    during logging, not repair), so repair-group discovery
+    (:mod:`repro.repair.clusters`) walks the taint-connected component of
+    the damage set in O(component edges) — never a scan of the whole log.
+
+    The asymmetry between readers and writers is deliberate: two runs that
+    merely *read* the same partition are not dependent on each other, so
+    readers are pulled into a component only through a writer of a key
+    they read.  ``table_all`` holds the runs whose read set cannot be
+    narrowed (ALL-readers): they depend on *every* writer of the table.
+    """
+
+    def __init__(self) -> None:
+        #: key -> runs with a write query on that partition key.
+        self.key_writers: Dict[PartitionKey, Set[int]] = {}
+        #: key -> runs with any query reading or writing that key.
+        self.key_touchers: Dict[PartitionKey, Set[int]] = {}
+        #: table -> runs with any write on the table (keyed or full).
+        self.table_writers: Dict[str, Set[int]] = {}
+        #: table -> runs with any query on the table at all.
+        self.table_touchers: Dict[str, Set[int]] = {}
+        #: table -> runs with an ALL-partition read of the table.
+        self.table_all: Dict[str, Set[int]] = {}
+        #: table -> runs with a full-table write.
+        self.table_fullw: Dict[str, Set[int]] = {}
+
+    def index_query(self, query: QueryRecord, run_id: int) -> None:
+        table = query.table
+        self.table_touchers.setdefault(table, set()).add(run_id)
+        if query.is_write:
+            self.table_writers.setdefault(table, set()).add(run_id)
+            for key in query.written_partitions:
+                self.key_writers.setdefault(key, set()).add(run_id)
+                self.key_touchers.setdefault(key, set()).add(run_id)
+            if query.full_table_write:
+                self.table_fullw.setdefault(table, set()).add(run_id)
+        if query.read_set.is_all:
+            self.table_all.setdefault(table, set()).add(run_id)
+        else:
+            for column, value in query.read_set.keys():
+                self.key_touchers.setdefault((table, column, value), set()).add(run_id)
+
+    def unindex_run(self, run: AppRunRecord) -> None:
+        """Drop every edge contributed by ``run`` (gc, replace_run)."""
+        run_id = run.run_id
+        for query in run.queries:
+            table = query.table
+            self._discard(self.table_touchers, table, run_id)
+            self._discard(self.table_writers, table, run_id)
+            self._discard(self.table_all, table, run_id)
+            self._discard(self.table_fullw, table, run_id)
+            for key in query.written_partitions:
+                self._discard(self.key_writers, key, run_id)
+                self._discard(self.key_touchers, key, run_id)
+            if not query.read_set.is_all:
+                for column, value in query.read_set.keys():
+                    self._discard(self.key_touchers, (table, column, value), run_id)
+
+    @staticmethod
+    def _discard(buckets: Dict, key, run_id: int) -> None:
+        bucket = buckets.get(key)
+        if bucket is not None:
+            bucket.discard(run_id)
+            if not bucket:
+                del buckets[key]
+
+    # -- read API (used by repair-group discovery) -------------------------
+
+    def writers_of_key(self, key: PartitionKey) -> Set[int]:
+        return self.key_writers.get(key, _EMPTY_SET)
+
+    def touchers_of_key(self, key: PartitionKey) -> Set[int]:
+        return self.key_touchers.get(key, _EMPTY_SET)
+
+    def writers_of_table(self, table: str) -> Set[int]:
+        return self.table_writers.get(table, _EMPTY_SET)
+
+    def touchers_of_table(self, table: str) -> Set[int]:
+        return self.table_touchers.get(table, _EMPTY_SET)
+
+    def all_readers_of_table(self, table: str) -> Set[int]:
+        return self.table_all.get(table, _EMPTY_SET)
+
+    def full_writers_of_table(self, table: str) -> Set[int]:
+        return self.table_fullw.get(table, _EMPTY_SET)
+
 
 class RecordStore:
     """Primary record maps plus the secondary indexes repair relies on."""
@@ -76,6 +203,11 @@ class RecordStore:
         #: only the client's runs, not the whole workload.
         self._client_runs: Dict[str, List[int]] = {}
 
+        #: Partition-touch connectivity (eager): repair-group discovery
+        #: walks taint-connected components through these sets instead of
+        #: scanning the run log.
+        self.touch = TouchIndex()
+
         # -- lazily built partition indexes (time-ordered buckets) ------------
         self._qindex_built: Set[str] = set()
         self._qindex_keys: Dict[PartitionKey, List[Tuple[int, int, QueryRecord]]] = {}
@@ -103,6 +235,7 @@ class RecordStore:
         self._index_run_files(run)
         # Keep partition buckets fresh for tables already indexed.
         for query in run.queries:
+            self.touch.index_query(query, run.run_id)
             if query.table in self._qindex_built:
                 self._index_query(query)
         if self.wal is not None:
@@ -192,6 +325,9 @@ class RecordStore:
         self.query_count += len(record.queries) - len(old.queries)
         self._unindex_run_files(old)
         self._index_run_files(record)
+        self.touch.unindex_run(old)
+        for query in record.queries:
+            self.touch.index_query(query, run_id)
         if self.wal is not None:
             self.wal.append("replace_run", record.to_dict())
         return old
@@ -292,19 +428,7 @@ class RecordStore:
         else:
             buckets = [self._qindex_keys.get(key, []) for key in keys]
             buckets.append(self._qindex_all.get(table, []))
-        cut = (since_ts, _AFTER_ANY_QID)
-        tails = []
-        for bucket in buckets:
-            start = bisect.bisect_right(bucket, cut)
-            if start < len(bucket):
-                tails.append(bucket[start:])
-        seen: Set[int] = set()
-        out: List[QueryRecord] = []
-        for _, qid, query in heapq.merge(*tails):
-            if qid not in seen:
-                seen.add(qid)
-                out.append(query)
-        return out
+        return merge_bucket_tails(buckets, since_ts)
 
     def _build_index(self, table: str) -> None:
         if table in self._qindex_built:
@@ -341,13 +465,11 @@ class RecordStore:
                 touched[id(bucket)] = bucket
 
         insert(self._qindex_table.setdefault(table, []))
-        keys: Set[PartitionKey] = set(query.written_partitions)
-        if query.read_set.is_all or query.full_table_write:
+        keys, in_all_bucket = partition_index_keys(query)
+        if in_all_bucket:
             insert(self._qindex_all.setdefault(table, []))
-        keys |= {(table,) + tuple(k) for k in query.read_set.keys()}
         for key in keys:
-            full = key if len(key) == 3 else (table,) + tuple(key)
-            insert(self._qindex_keys.setdefault(full, []))
+            insert(self._qindex_keys.setdefault(key, []))
 
     # ------------------------------------------------------------------ file index
 
@@ -415,6 +537,7 @@ class RecordStore:
             del self.runs[run.run_id]
             self.query_count -= len(run.queries)
             self._unindex_run_files(run)
+            self.touch.unindex_run(run)
             if run.client_id is not None:
                 dead_runs_by_client.setdefault(run.client_id, set()).add(run.run_id)
             key = run.browser_key()

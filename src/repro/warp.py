@@ -52,9 +52,13 @@ class WarpSystem:
         enabled: bool = True,
         replay_config: Optional[ReplayConfig] = None,
         wal_path: Optional[str] = None,
+        cluster_mode: str = "sequential",
     ) -> None:
         self.origin = origin
         self.enabled = enabled
+        #: Repair-group scheduling: "sequential" (default), "parallel", or
+        #: "off" (monolithic reference worklist); see repro.repair.clusters.
+        self.cluster_mode = cluster_mode
         self.clock = LogicalClock()
         self.ids = IdAllocator()
         self.rng = random.Random(seed)
@@ -127,7 +131,7 @@ class WarpSystem:
 
     def _controller(self) -> RepairController:
         self._check_code_versions()
-        return RepairController(
+        controller = RepairController(
             ttdb=self.ttdb,
             graph=self.graph,
             scripts=self.scripts,
@@ -139,6 +143,8 @@ class WarpSystem:
             ids=self.ids,
             replay_config=self.replay_config,
         )
+        controller.cluster_mode = self.cluster_mode
+        return controller
 
     def retroactive_patch(
         self, file: str, exports: Dict, apply_ts: int = 0
@@ -331,5 +337,7 @@ class WarpSystem:
             initiated_by_admin=False,
             allow_conflicts=True,
         )
-        self.conflicts.resolve(conflict)
+        # Canceling the visit moots every conflict queued against it, even
+        # ones different repairs reported for the same visit.
+        self.conflicts.resolve_visit(conflict.client_id, conflict.visit_id)
         return result

@@ -9,9 +9,18 @@ repairing and asserting ground truth.
 
 from repro.workload.scenarios import (
     ATTACK_TYPES,
+    MultiTenantOutcome,
     ScenarioOutcome,
     WikiDeployment,
+    run_multi_tenant_scenario,
     run_scenario,
 )
 
-__all__ = ["WikiDeployment", "run_scenario", "ScenarioOutcome", "ATTACK_TYPES"]
+__all__ = [
+    "WikiDeployment",
+    "run_scenario",
+    "ScenarioOutcome",
+    "ATTACK_TYPES",
+    "MultiTenantOutcome",
+    "run_multi_tenant_scenario",
+]

@@ -233,6 +233,117 @@ def run_scenario(
     return outcome
 
 
+@dataclass
+class MultiTenantOutcome:
+    """Handle for a staged multi-tenant attack (unrepaired)."""
+
+    deployment: WikiDeployment
+    n_tenants: int
+    attacked: List[int]
+    #: tenant index -> that tenant's users.
+    tenant_users: Dict[int, List[str]]
+    #: user -> the legit text they appended after the attack.
+    legit_appends: Dict[str, str] = field(default_factory=dict)
+    attacker_client: str = ""
+    original_exec_seconds: float = 0.0
+
+    @property
+    def warp(self):
+        return self.deployment.warp
+
+    @property
+    def wiki(self):
+        return self.deployment.wiki
+
+    def tenant_page(self, tenant: int) -> str:
+        return f"tenant{tenant}_wiki"
+
+    def repair(self):
+        """Undo every action of the attacker's browser (paper §2)."""
+        return self.warp.cancel_client(self.attacker_client)
+
+    def repair_by_patch(self):
+        """Re-register edit.php unchanged as a retroactive 'patch': every
+        edit run re-executes (and compares equal), which exercises one
+        repair group per tenant."""
+        from repro.apps.wiki.pages import make_edit
+
+        return self.warp.retroactive_patch("edit.php", make_edit())
+
+
+def run_multi_tenant_scenario(
+    n_tenants: int = 4,
+    users_per_tenant: int = 2,
+    attacked_tenants: int = 1,
+    edits_per_user: int = 1,
+    seed: int = 0,
+) -> MultiTenantOutcome:
+    """Stage a multi-tenant wiki whose tenants never touch each other's
+    partitions, then an attack on ``attacked_tenants`` of them.
+
+    Each tenant's users log in and edit only their tenant's page, so the
+    action history graph splits into one taint component per tenant — the
+    workload the dependency-clustered repair scheduler is built for: the
+    attack's repair cost must track the attacked tenants' footprint, not
+    ``n_tenants``.  Tenant activity deliberately avoids ``index.php``
+    (its MediaWiki-style ``SELECT COUNT(*)`` sitestats query reads ALL
+    partitions of ``pagecontent``, which would soundly merge every tenant
+    into one component).
+
+    The attacker logs in once and defaces the first ``attacked_tenants``
+    tenants' pages through ``edit.php``; every attacked tenant's users
+    keep editing afterwards, entangling their work with the attack.
+    """
+    import time as _time
+
+    started = _time.perf_counter()
+    deployment = WikiDeployment(n_users=0, seed=seed)
+    outcome = MultiTenantOutcome(
+        deployment=deployment,
+        n_tenants=n_tenants,
+        attacked=list(range(attacked_tenants)),
+        tenant_users={},
+        attacker_client=deployment.client_id("attacker"),
+    )
+
+    for tenant in range(n_tenants):
+        users = [f"t{tenant}_user{i}" for i in range(users_per_tenant)]
+        outcome.tenant_users[tenant] = users
+        for user in users:
+            deployment.wiki.seed_user(user, f"pw-{user}")
+
+    # Phase 1: each tenant's first user creates the tenant page; everyone
+    # logs in and makes pre-attack edits.
+    for tenant in range(n_tenants):
+        page = outcome.tenant_page(tenant)
+        users = outcome.tenant_users[tenant]
+        for user in users:
+            deployment.login(user)
+        deployment.edit_page(users[0], page, f"wiki of tenant {tenant}")
+        for round_no in range(edits_per_user):
+            for user in users:
+                deployment.append_to_page(user, page, f"\npre-{user}-{round_no}")
+
+    # Phase 2: the attacker defaces the attacked tenants' pages.
+    deployment.login("attacker")
+    for tenant in outcome.attacked:
+        deployment.append_to_page(
+            "attacker", outcome.tenant_page(tenant), f"\nDEFACED-t{tenant}"
+        )
+
+    # Phase 3: post-attack legitimate edits on every tenant (the attacked
+    # tenants' users now work on top of the defaced content).
+    for tenant in range(n_tenants):
+        page = outcome.tenant_page(tenant)
+        for user in outcome.tenant_users[tenant]:
+            extra = f"post-{user}"
+            deployment.append_to_page(user, page, f"\n{extra}")
+            outcome.legit_appends[user] = extra
+
+    outcome.original_exec_seconds = _time.perf_counter() - started
+    return outcome
+
+
 def _plant_attack(deployment: WikiDeployment, attack_type: str) -> None:
     warp = deployment.warp
     if attack_type == "stored-xss":
