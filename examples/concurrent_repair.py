@@ -1,79 +1,94 @@
 #!/usr/bin/env python3
-"""Repair concurrent with normal operation (paper §4.3, Table 6).
+"""Repair concurrent with normal operation (paper §4.3) — for real.
 
 WARP's repair generations let the site keep serving users while a repair
 rewrites history: normal execution continues in the *current* generation,
 repair builds the *next* one, and a brief suspend at the end switches them
-atomically.  Requests that arrive mid-repair and touch repaired state are
-re-applied to the next generation before the switch.
+atomically.  With the partition-scoped write gate (repro.repair.gate),
+"keep serving" means actual concurrent threads:
 
-This example launches a clickjacking repair across a 30-user history while
-a live user keeps reading and editing pages, then shows that (a) the live
-user was served throughout, (b) her mid-repair edit survived the
-generation switch, and (c) the repair still removed the attack.
+* 8 loadgen threads hammer a 16-tenant wiki while ``cancel_client``
+  undoes an attacker's defacement of tenant 0 on the main thread;
+* requests whose footprint is disjoint from the repair (the other 15
+  tenants) are served live from the current generation;
+* requests that touch the partitions under repair come back ``202`` with
+  a ticket and are re-applied — exactly once, in arrival order — right
+  after the generation switch, onto the repaired timeline.
 
 Run:  python examples/concurrent_repair.py
 """
 
-from repro.apps.wiki.patches import patch_for
-from repro.workload.scenarios import WIKI, run_scenario
+import threading
+import time
+
+from repro.workload.loadgen import LoadGen, make_load_clients
+from repro.workload.scenarios import run_multi_tenant_scenario
 
 
 def main() -> None:
-    outcome = run_scenario("clickjacking", n_users=30, n_victims=3)
-    deployment = outcome.deployment
-    warp = outcome.warp
-    wiki = outcome.wiki
-    print(
-        f"staged clickjacking scenario: {warp.graph.n_visits} page visits, "
-        f"{warp.graph.n_runs} runs recorded"
+    outcome = run_multi_tenant_scenario(
+        n_tenants=16, users_per_tenant=1, attacked_tenants=1, seed=3
     )
-    assert "clickjacked spam" in wiki.page_text("Projects")
+    warp = outcome.warp
+    warp.enable_online_repair()
+    pages = [outcome.tenant_page(t) for t in range(16)]
+    print(
+        f"staged 16-tenant wiki: {warp.graph.n_visits} page visits, "
+        f"{warp.graph.n_runs} runs recorded; tenant 0 is defaced"
+    )
+    assert "DEFACED" in outcome.wiki.page_text(pages[0])
 
-    # A live user keeps working while the repair runs: one page view or
-    # edit per repair work item, interleaved through the step hook.
-    live = deployment.browser(deployment.users[-1])
-    served = {"ok": 0, "fail": 0, "edited": False}
+    # 16 load users (one per tenant page), each logged in up front.
+    clients = make_load_clients(
+        outcome.wiki, warp.server, [f"user{i}" for i in range(16)]
+    )
+    loadgen = LoadGen(clients, pages, seed=1)
 
-    def live_traffic():
-        count = served["ok"] + served["fail"]
-        if count == 5 and not served["edited"]:
-            # Mid-repair edit to a page the repair is also touching.
-            deployment.append_to_page(
-                deployment.users[-1], "Main_Page", "\nedited during repair"
-            )
-            served["edited"] = True
-        visit = live.open(f"{WIKI}/index.php?title=Main_Page")
-        key = "ok" if visit.response.status == 200 else "fail"
-        served[key] += 1
+    stop = threading.Event()
+    box = {}
+    loader = threading.Thread(
+        target=lambda: box.update(stats=loadgen.run_threads(8, stop=stop))
+    )
+    loader.start()
+    time.sleep(0.05)  # let traffic build up before the repair starts
 
-    controller = warp._controller()
-    controller.step_hook = live_traffic
-    spec = patch_for("clickjacking")
-    result = controller.retroactive_patch(spec.file, spec.build())
+    started = time.perf_counter()
+    result = warp.cancel_client(outcome.attacker_client)
+    repair_ms = (time.perf_counter() - started) * 1e3
+    stop.set()
+    loader.join()
 
-    print(f"\nrepair finished: ok={result.ok}")
-    print(f"live requests served during repair: {served['ok']} "
-          f"(failed: {served['fail']})")
+    stats = box["stats"]
+    gate = result.stats.gate
+    window = gate["served"] + gate["queued"]
+    served_fraction = gate["served"] / window if window else 1.0
+    print(f"\nrepair finished in {repair_ms:.0f} ms: ok={result.ok}")
+    print(
+        f"during the repair window: {gate['served']}/{window} requests served "
+        f"live ({served_fraction:.1%}), {gate['queued']} queued and "
+        f"{gate['applied']} re-applied after the switch"
+    )
+    print(
+        f"load totals: {stats.total} requests, 503s={stats.rejected}, "
+        f"p50={stats.percentile(0.5) * 1e3:.2f} ms, "
+        f"p95={stats.percentile(0.95) * 1e3:.2f} ms"
+    )
     print(f"DB generation after switch: {warp.ttdb.current_gen}")
 
-    text = wiki.page_text("Main_Page")
-    print(f"\nMain_Page after repair: {text!r}")
-    assert served["ok"] > 0, "the site must stay available during repair"
-    assert served["fail"] == 0
-    assert "edited during repair" in text, "mid-repair edit must survive"
+    assert result.ok
+    assert stats.rejected == 0, "nothing may be 503'd under the gate"
+    assert gate["applied"] == gate["queued"], "every queued request re-applies"
 
-    # Clickjacked input cannot be replayed (the page refuses to load in a
-    # frame under the patch), so the victims get conflicts — Table 3's
-    # three-conflict row.  They resolve by cancelling the framed visit,
-    # which removes the spam.
-    conflicts = warp.conflicts.pending()
-    print(f"victims with conflicts to resolve: {len(conflicts)}")
-    for conflict in list(conflicts):
-        warp.resolve_conflict_by_cancel(conflict)
-    assert "clickjacked spam" not in wiki.page_text("Projects")
-    print("\nsite stayed online, mid-repair edit survived, attack removed "
-          "after the victims resolved their conflicts.")
+    # Every write landed exactly once — the served ones live, the queued
+    # ones onto the repaired timeline.
+    text = {page: outcome.wiki.page_text(page) for page in pages}
+    for marker, page in stats.writes:
+        assert text[page].count(marker) == 1, (marker, page)
+    assert "DEFACED" not in text[pages[0]], "the attack is gone"
+    print(
+        f"\n{len(stats.writes)} concurrent edits all applied exactly once; "
+        "tenant 0 repaired while the other 15 tenants kept working."
+    )
 
 
 if __name__ == "__main__":

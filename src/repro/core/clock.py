@@ -8,6 +8,8 @@ timestamp the clock can produce.
 
 from __future__ import annotations
 
+import threading
+
 #: Sentinel for "row version is current" / "valid in all later generations".
 INFINITY = 2**62
 
@@ -19,17 +21,23 @@ class LogicalClock:
     peeks at the last issued timestamp without advancing.  The clock can be
     advanced manually (``advance``) so workload generators can leave gaps,
     which is handy when tests need "a time strictly between two actions".
+
+    ``tick``/``advance`` are atomic: concurrent request threads must never
+    observe the same timestamp twice (row-version intervals and the action
+    log both assume strict monotonicity).
     """
 
     def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise ValueError("clock must start at a non-negative time")
         self._now = start
+        self._lock = threading.Lock()
 
     def tick(self) -> int:
         """Advance the clock by one and return the new timestamp."""
-        self._now += 1
-        return self._now
+        with self._lock:
+            self._now += 1
+            return self._now
 
     def now(self) -> int:
         """Return the most recently issued timestamp."""
@@ -39,8 +47,9 @@ class LogicalClock:
         """Jump the clock forward by ``delta`` ticks (must be positive)."""
         if delta <= 0:
             raise ValueError("can only advance the clock forward")
-        self._now += delta
-        return self._now
+        with self._lock:
+            self._now += delta
+            return self._now
 
     def restore(self, now: int) -> None:
         """Reset the clock to a persisted timestamp (system reload)."""

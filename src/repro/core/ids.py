@@ -9,6 +9,7 @@ so whole-system runs are reproducible.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Dict
 
 _ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
@@ -29,11 +30,16 @@ class IdAllocator:
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def next(self, namespace: str) -> int:
-        value = self._counters.get(namespace, 0) + 1
-        self._counters[namespace] = value
-        return value
+        """Allocate the next id atomically (concurrent request threads must
+        never share a run or query id — a collision silently overwrites the
+        other record in the graph)."""
+        with self._lock:
+            value = self._counters.get(namespace, 0) + 1
+            self._counters[namespace] = value
+            return value
 
     def peek(self, namespace: str) -> int:
         """Return the last allocated id in ``namespace`` (0 if none)."""
@@ -42,8 +48,9 @@ class IdAllocator:
     def advance_to(self, namespace: str, value: int) -> None:
         """Ensure the next id in ``namespace`` is greater than ``value``
         (used after restoring records that postdate a persisted counter)."""
-        if value > self._counters.get(namespace, 0):
-            self._counters[namespace] = value
+        with self._lock:
+            if value > self._counters.get(namespace, 0):
+                self._counters[namespace] = value
 
     def state_dict(self) -> Dict[str, int]:
         """Persistable image of every namespace's counter."""

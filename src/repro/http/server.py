@@ -5,15 +5,31 @@ history graph, applies queued cookie invalidations (paper §5.3), surfaces
 pending conflicts to returning clients (paper §5.4), and — while a repair
 is underway — remembers which runs arrived concurrently so the repair
 controller can re-apply them to the next generation at finalize (§4.3).
+
+With an online-repair gate installed (:mod:`repro.repair.gate`), requests
+whose footprint is disjoint from the repair are served from real
+concurrent threads while conflicting ones are queued with a ticket; the
+brief generation-switch window *drains* in-flight requests and blocks new
+arrivals on a condition variable instead of 503ing them.  A bare
+``suspended = True`` (no gate) keeps the legacy 503 behavior.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+import threading
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.ahg.graph import ActionHistoryGraph
 from repro.appserver.runtime import AppRuntime
 from repro.http.message import HttpRequest, HttpResponse
+
+if TYPE_CHECKING:
+    from repro.repair.gate import RepairGate
+
+#: How long a request waits for a generation switch to finish before
+#: giving up with a 503 (the switch window is a handful of dictionary
+#: operations; this bound only matters if the repair thread dies).
+_SWITCH_WAIT_SECONDS = 10.0
 
 
 class HttpServer:
@@ -39,6 +55,12 @@ class HttpServer:
         self.suspended = False
         #: Toggle for recording (the "No WARP" baseline disables it).
         self.recording = True
+        #: Online-repair gate; None keeps the legacy serve-everything flow.
+        self.gate: Optional["RepairGate"] = None
+        #: Requests currently executing (drained before a generation switch).
+        self._in_flight = 0
+        self._state_lock = threading.Lock()
+        self._state_cond = threading.Condition(self._state_lock)
 
     def route(self, path: str, script_name: str) -> None:
         self.routes[path] = script_name
@@ -46,17 +68,88 @@ class HttpServer:
     def script_for(self, path: str) -> Optional[str]:
         return self.routes.get(path)
 
-    def handle(self, request: HttpRequest) -> HttpResponse:
-        """Serve one request during normal operation."""
-        if self.suspended:
-            return HttpResponse(status=503, body="server briefly suspended for repair")
+    # -- generation-switch window -------------------------------------------
 
+    def begin_switch(self) -> None:
+        """Block new arrivals and wait until in-flight requests drain, so
+        the generation switch is atomic with respect to whole requests,
+        not just single statements.  A request that fails to drain within
+        the bound (a wedged script) raises instead of letting the switch
+        proceed under a still-running request — the caller unwinds and the
+        repair aborts cleanly."""
+        with self._state_cond:
+            self.suspended = True
+            drained = self._state_cond.wait_for(
+                lambda: self._in_flight == 0, timeout=_SWITCH_WAIT_SECONDS
+            )
+            if not drained:
+                self.suspended = False
+                self._state_cond.notify_all()
+                raise RuntimeError(
+                    f"{self._in_flight} request(s) still in flight after "
+                    f"{_SWITCH_WAIT_SECONDS}s: refusing a non-atomic "
+                    "generation switch"
+                )
+
+    def end_switch(self) -> None:
+        with self._state_cond:
+            self.suspended = False
+            self._state_cond.notify_all()
+
+    def _enter(self) -> bool:
+        """Admit one request past the suspend window; False -> give up (503)."""
+        with self._state_cond:
+            if self.suspended:
+                if self.gate is None:
+                    # Legacy behavior: a manual suspend 503s immediately.
+                    return False
+                if not self._state_cond.wait_for(
+                    lambda: not self.suspended, timeout=_SWITCH_WAIT_SECONDS
+                ):
+                    return False
+            self._in_flight += 1
+            return True
+
+    def _exit(self) -> None:
+        with self._state_cond:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._state_cond.notify_all()
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(
+        self, request: HttpRequest, bypass_gate: bool = False
+    ) -> HttpResponse:
+        """Serve one request during normal operation.  ``bypass_gate`` is
+        for the queue drain itself: a parked request being re-applied must
+        not re-queue against the still-active gate."""
+        if not self._enter():
+            return HttpResponse(status=503, body="server briefly suspended for repair")
+        try:
+            return self._handle(request, bypass_gate)
+        finally:
+            self._exit()
+
+    def _handle(self, request: HttpRequest, bypass_gate: bool = False) -> HttpResponse:
         # Resolve the route before consuming a queued cookie invalidation:
         # a 404 never rebuilds the client's cookies, so it must not eat the
         # pending deletion either.
         script_name = self.script_for(request.path)
         if script_name is None:
             return HttpResponse(status=404, body=f"no route for {request.path}")
+
+        # Online repair: a request whose footprint overlaps the partitions
+        # (or clients) under repair is queued for ordered re-application
+        # after the generation switch.  The check precedes every side
+        # effect — a queued request consumes nothing.
+        gate = self.gate
+        if gate is not None and gate.active and not bypass_gate:
+            queued = gate.admit(script_name, request)
+            if queued is not None:
+                from repro.repair.gate import queued_response
+
+                return queued_response(queued)
 
         client_id = request.client_id
         invalidated = client_id is not None and client_id in self.cookie_invalidation
@@ -88,5 +181,7 @@ class HttpServer:
         if self.recording:
             self.graph.add_run(record)
             if self.repair_active:
+                # List append is atomic under the GIL; finalize re-applies
+                # in arrival-ts order regardless of append interleaving.
                 self.pending_during_repair.append(record.run_id)
         return response

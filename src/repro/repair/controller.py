@@ -260,6 +260,10 @@ class RepairController:
             damaged = [run.run_id for _, runs in target_runs for run in runs]
             # One client's visits always form a single taint component.
             groups = self._plan_groups(run_seeds=damaged)
+            if self.server.gate is not None:
+                # The undone visits' client is being rewritten: queue its
+                # own traffic until the switch.
+                self.server.gate.note_client(client_id)
             self._g = groups[0]
             for target_id, runs in target_runs:
                 for run in runs:
@@ -312,6 +316,8 @@ class RepairController:
             self.stats.timer.push("init")
             client_runs = self.graph.client_runs(client_id)
             groups = self._plan_groups(run_seeds=[run.run_id for run in client_runs])
+            if self.server.gate is not None:
+                self.server.gate.note_client(client_id)
             self._g = groups[0]
             for run in client_runs:
                 self.cancel_run(run)
@@ -410,6 +416,14 @@ class RepairController:
             self.stats.groups.append(row)
             self.stats.escaped_keys += group.escaped_keys
             self.stats.clusters_seconds += group.index_build_seconds
+        if self.server.gate is not None:
+            gate_stats = self.server.gate.stats
+            self.stats.gate = {
+                "served": gate_stats.served,
+                "queued": gate_stats.queued,
+                "applied": gate_stats.applied,
+                "apply_errors": gate_stats.apply_errors,
+            }
         if scoped_any and attributed < len(repair_conflicts):
             # Conflicts for orphan clients (reached only through escaped
             # propagation) belong to no component; record them so the
@@ -436,6 +450,9 @@ class RepairController:
         # Conflicts pending from earlier repairs are out of scope for this
         # one: they must survive an abort and never trigger one.
         self._prior_conflict_ids = {id(c) for c in self.conflicts.pending()}
+        if self.server.gate is not None:
+            # Gate everything until the damage components are planned.
+            self.server.gate.begin()
 
     def _repair_conflicts(self) -> List[Conflict]:
         """Unresolved conflicts created by *this* repair."""
@@ -462,6 +479,7 @@ class RepairController:
             run_seeds or key_seeds or full_table_seeds
         ):
             global_group.seed_runs.extend(run_seeds)
+            self._sync_gate_scope([global_group])
             return [global_group]
         started = _time.perf_counter()
         try:
@@ -479,6 +497,7 @@ class RepairController:
             # Clustering was futile (the damage component spans most of the
             # workload): keep the monolithic worklist and its global index.
             global_group.seed_runs.extend(run_seeds)
+            self._sync_gate_scope([global_group])
             return [global_group]
         self._groups = groups
         self._g = groups[0]
@@ -488,7 +507,15 @@ class RepairController:
                 self._run_home[run_id] = group
             for client_id in group.clients:
                 self._client_home[client_id] = group
+        self._sync_gate_scope(groups)
         return groups
+
+    def _sync_gate_scope(self, groups) -> None:
+        """Shrink the online gate from own-everything to the planned
+        components' partitions/clients (no-op without a gate; an unscoped
+        group keeps the gate fully conservative)."""
+        if self.server.gate is not None:
+            self.server.gate.set_scope(groups)
 
     def _process(self) -> None:
         scoped = [group for group in self._groups if group.scoped]
@@ -621,29 +648,47 @@ class RepairController:
         return any(client_id in other.conflicted_clients for other in self._groups)
 
     def _finalize(self) -> None:
-        # Re-apply requests that arrived while repair was running (§4.3),
-        # in a fresh global-scope worklist context (they are new traffic,
-        # not members of any damage component).
-        pending_group = RepairGroup(-1, mods=self.mods)
-        self._groups.append(pending_group)
-        self._g = pending_group
-        for run_id in list(self.server.pending_during_repair):
-            run = self.graph.runs.get(run_id)
-            if run is None:
-                continue
-            if self._run_state_anywhere(run_id) in ("done", "canceled"):
-                continue
-            if self._inputs_changed(run):
-                self._reexec_run(run, run.request, conflict_on_change=False)
-        # Briefly suspend, switch generations, resume.
-        self.server.suspended = True
-        self.ttdb.finalize_repair()
-        self._merge_replacements()
-        self.server.suspended = False
-        self.server.repair_active = False
+        # Briefly suspend: new arrivals block (or 503 without a gate) and
+        # in-flight requests drain, so the pending re-application below
+        # sees a stable run list and the switch is atomic per-request.
+        self.server.begin_switch()
+        try:
+            # Re-apply requests that arrived while repair was running
+            # (§4.3), in a fresh global-scope worklist context (they are
+            # new traffic, not members of any damage component).  Contract:
+            # re-application happens in arrival-timestamp order — the list
+            # is appended by request threads (and, under cluster_mode
+            # "parallel", interleaved across groups' step hooks), so list
+            # order carries no guarantee.
+            pending_group = RepairGroup(-1, mods=self.mods)
+            self._groups.append(pending_group)
+            self._g = pending_group
+            pending = [
+                run
+                for run in (
+                    self.graph.runs.get(run_id)
+                    for run_id in list(self.server.pending_during_repair)
+                )
+                if run is not None
+            ]
+            pending.sort(key=lambda run: (run.ts_start, run.run_id))
+            for run in pending:
+                if self._run_state_anywhere(run.run_id) in ("done", "canceled"):
+                    continue
+                if self._inputs_changed(run):
+                    self._reexec_run(run, run.request, conflict_on_change=False)
+            # Switch generations and fold the repaired records back in.
+            self.ttdb.finalize_repair()
+            self._merge_replacements()
+            self.server.repair_active = False
+            self._active = False
+        finally:
+            self.server.end_switch()
         for client_id in self.replayer.diverged_clients:
             self.server.cookie_invalidation.add(client_id)
-        self._active = False
+        # Queued requests re-apply against the repaired, now-live
+        # generation — each exactly once, in arrival order.
+        self._drain_gate_queue()
 
     def _unwind_failed_repair(self) -> None:
         """A raising script propagates out of the entry point: abort the
@@ -651,14 +696,15 @@ class RepairController:
         a retry with fixed code simply works) and unwind the server flags —
         otherwise live traffic queues behind a dead repair and every later
         ``begin_repair`` fails with "already active"."""
-        self.server.suspended = False
+        self.server.end_switch()
         if self.ttdb.repair_gen is not None:
             self._abort()
         else:
             # The failure happened after the generation switch (finalize):
-            # nothing to abort, just release the flags.
+            # nothing to abort, just release the flags and serve the queue.
             self.server.repair_active = False
             self._active = False
+            self._drain_gate_queue()
 
     def _abort(self) -> None:
         self.ttdb.abort_repair()
@@ -669,6 +715,32 @@ class RepairController:
             self.conflicts.resolve(conflict)
         self.server.repair_active = False
         self._active = False
+        # Requests queued behind the aborted repair still deserve service —
+        # the live generation they now run against was never touched.
+        self._drain_gate_queue()
+
+    def _drain_gate_queue(self) -> None:
+        """Serve every request the gate queued, in arrival order, exactly
+        once.  A queued script that raises is recorded as a 500 on its
+        ticket and consumed — it must not wedge the finalize path or
+        starve the tickets behind it.  The gate stays active until the
+        queue is empty (see ``RepairGate.pop_next``), so the drain runs
+        ungated."""
+        gate = self.server.gate
+        if gate is None:
+            return
+        while True:
+            entry = gate.pop_next()
+            if entry is None:
+                return
+            try:
+                response = self.server.handle(entry.request, bypass_gate=True)
+            except Exception as exc:
+                gate.record_failed(
+                    entry, f"script raised during queued re-application: {exc!r}"
+                )
+                continue
+            gate.record_applied(entry, response)
 
     def _merge_replacements(self) -> None:
         """Fold re-executed runs back into the action history graph so the
@@ -897,6 +969,11 @@ class RepairController:
                 mods.record(table, keys, ts)
         if not keys and not whole_table:
             return
+        if self.server.gate is not None:
+            # Re-execution escaped the static footprint (or a retroactive
+            # fix's partitions just became known): widen the gate so new
+            # traffic conflicts with the freshly repaired partitions too.
+            self.server.gate.note_modification(table, keys, whole_table)
         self._propagate(table, keys, ts, whole_table)
 
     def _home_group(self, run_id: int) -> Optional[RepairGroup]:

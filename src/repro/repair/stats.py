@@ -62,6 +62,10 @@ class RepairStats:
     clusters_seconds: float = 0.0
     escaped_keys: int = 0
     groups: List[Dict[str, object]] = field(default_factory=list)
+    #: Online-repair gate counters (repro.repair.gate): requests served
+    #: live during the repair, queued with a ticket, re-applied after the
+    #: switch, and apply-time script failures.  Empty without a gate.
+    gate: Dict[str, int] = field(default_factory=dict)
 
     def breakdown(self) -> Dict[str, float]:
         """Named time buckets in the paper's Table 7 layout."""

@@ -27,6 +27,7 @@ import bisect
 import heapq
 import json
 import os
+import threading
 import time as _time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -216,45 +217,58 @@ class RecordStore:
         #: Wall-clock seconds spent building partition indexes (Table 7).
         self.index_build_seconds = 0.0
 
+        #: Requests the online-repair gate queued but has not re-applied
+        #: yet (ticket -> journaled entry); normally drained at finalize,
+        #: non-empty only after a crash mid-repair.
+        self.pending_gate_queue: Dict[int, dict] = {}
+        self._applied_gate_tickets: Set[int] = set()
+
+        #: Serializes mutations (and the lazy partition-index build) so
+        #: concurrent request threads can append runs while a repair reads
+        #: the indexes.  Reentrant: replay/gc call other mutators.
+        self._lock = threading.RLock()
+
         self.wal = wal
 
     # ------------------------------------------------------------------ writes
 
     def add_run(self, run: AppRunRecord) -> None:
-        self.runs[run.run_id] = run
-        self._run_order.append(run.run_id)
-        self.query_count += len(run.queries)
-        key = run.browser_key()
-        if key is not None:
-            self._runs_by_visit.setdefault(key, []).append(run.run_id)
-            self._note_visit_id(run.client_id, run.visit_id)
-            if run.request_id is not None:
-                self.request_map[key + (run.request_id,)] = run.run_id
-        if run.client_id is not None:
-            self._client_runs.setdefault(run.client_id, []).append(run.run_id)
-        self._index_run_files(run)
-        # Keep partition buckets fresh for tables already indexed.
-        for query in run.queries:
-            self.touch.index_query(query, run.run_id)
-            if query.table in self._qindex_built:
-                self._index_query(query)
-        if self.wal is not None:
-            self.wal.append("run", run.to_dict())
+        with self._lock:
+            self.runs[run.run_id] = run
+            self._run_order.append(run.run_id)
+            self.query_count += len(run.queries)
+            key = run.browser_key()
+            if key is not None:
+                self._runs_by_visit.setdefault(key, []).append(run.run_id)
+                self._note_visit_id(run.client_id, run.visit_id)
+                if run.request_id is not None:
+                    self.request_map[key + (run.request_id,)] = run.run_id
+            if run.client_id is not None:
+                self._client_runs.setdefault(run.client_id, []).append(run.run_id)
+            self._index_run_files(run)
+            # Keep partition buckets fresh for tables already indexed.
+            for query in run.queries:
+                self.touch.index_query(query, run.run_id)
+                if query.table in self._qindex_built:
+                    self._index_query(query)
+            if self.wal is not None:
+                self.wal.append("run", run.to_dict())
 
     def add_runs(self, runs: Iterable[AppRunRecord]) -> None:
         for run in runs:
             self.add_run(run)
 
     def add_visit(self, visit: VisitRecord) -> None:
-        self.visits[(visit.client_id, visit.visit_id)] = visit
-        self._client_visits.setdefault(visit.client_id, []).append(visit.visit_id)
-        self._note_visit_id(visit.client_id, visit.visit_id)
-        if visit.parent_visit is not None:
-            self._visit_children.setdefault(
-                (visit.client_id, visit.parent_visit), []
-            ).append(visit.visit_id)
-        if self.wal is not None:
-            self.wal.append("visit", visit.to_dict())
+        with self._lock:
+            self.visits[(visit.client_id, visit.visit_id)] = visit
+            self._client_visits.setdefault(visit.client_id, []).append(visit.visit_id)
+            self._note_visit_id(visit.client_id, visit.visit_id)
+            if visit.parent_visit is not None:
+                self._visit_children.setdefault(
+                    (visit.client_id, visit.parent_visit), []
+                ).append(visit.visit_id)
+            if self.wal is not None:
+                self.wal.append("visit", visit.to_dict())
 
     # The extension keeps appending to an uploaded visit's record (events,
     # request ids, cookie snapshots) while the visit is live; it shares the
@@ -291,17 +305,48 @@ class RecordStore:
     def mark_run_canceled(self, run_id: int) -> None:
         """Record that repair canceled (undid) this run — journaled so the
         cancellation survives recovery."""
-        run = self.runs.get(run_id)
-        if run is None or run.canceled:
-            return
-        run.canceled = True
-        if self.wal is not None:
-            self.wal.append("cancel_run", {"run_id": run_id})
+        with self._lock:
+            run = self.runs.get(run_id)
+            if run is None or run.canceled:
+                return
+            run.canceled = True
+            if self.wal is not None:
+                self.wal.append("cancel_run", {"run_id": run_id})
 
     def add_patch(self, patch: PatchRecord) -> None:
-        self.patches.append(patch)
-        if self.wal is not None:
-            self.wal.append("patch", patch.to_dict())
+        with self._lock:
+            self.patches.append(patch)
+            if self.wal is not None:
+                self.wal.append("patch", patch.to_dict())
+
+    # ------------------------------------------------------------------ gate queue
+
+    def log_gate_queue(self, ticket: int, ts: int, request: dict) -> None:
+        """Journal a request the online-repair gate queued; it must survive
+        a crash until ``log_gate_apply`` records its re-application."""
+        with self._lock:
+            entry = {"ticket": ticket, "ts": ts, "request": request}
+            self.pending_gate_queue[ticket] = entry
+            if self.wal is not None:
+                self.wal.append("gate_queue", entry)
+
+    def next_gate_ticket(self) -> int:
+        """First ticket number not yet used by a queued or applied gate
+        entry (tickets must stay unique across crash recovery)."""
+        with self._lock:
+            highest = max(self.pending_gate_queue, default=0)
+            highest = max(highest, max(self._applied_gate_tickets, default=0))
+            return highest + 1
+
+    def log_gate_apply(self, ticket: int) -> None:
+        """Journal that a queued request was re-applied (exactly once)."""
+        with self._lock:
+            if ticket in self._applied_gate_tickets:
+                return
+            self._applied_gate_tickets.add(ticket)
+            self.pending_gate_queue.pop(ticket, None)
+            if self.wal is not None:
+                self.wal.append("gate_apply", {"ticket": ticket})
 
     def replace_run(self, run_id: int, record: AppRunRecord) -> Optional[AppRunRecord]:
         """Swap the stored record for ``run_id`` with ``record`` in place.
@@ -314,31 +359,33 @@ class RecordStore:
         replacements and invalidate once.  Returns the old record, or
         None if ``run_id`` is unknown.
         """
-        old = self.runs.get(run_id)
-        if old is None:
-            return None
-        if record.run_id != run_id:
-            raise ValueError(
-                f"replacement record has run_id {record.run_id}, expected {run_id}"
-            )
-        self.runs[run_id] = record
-        self.query_count += len(record.queries) - len(old.queries)
-        self._unindex_run_files(old)
-        self._index_run_files(record)
-        self.touch.unindex_run(old)
-        for query in record.queries:
-            self.touch.index_query(query, run_id)
-        if self.wal is not None:
-            self.wal.append("replace_run", record.to_dict())
-        return old
+        with self._lock:
+            old = self.runs.get(run_id)
+            if old is None:
+                return None
+            if record.run_id != run_id:
+                raise ValueError(
+                    f"replacement record has run_id {record.run_id}, expected {run_id}"
+                )
+            self.runs[run_id] = record
+            self.query_count += len(record.queries) - len(old.queries)
+            self._unindex_run_files(old)
+            self._index_run_files(record)
+            self.touch.unindex_run(old)
+            for query in record.queries:
+                self.touch.index_query(query, run_id)
+            if self.wal is not None:
+                self.wal.append("replace_run", record.to_dict())
+            return old
 
     def invalidate_partition_indexes(self) -> None:
         """Drop the lazily built partition buckets (records changed under
         them); the next ``queries_touching`` rebuilds on demand."""
-        self._qindex_built.clear()
-        self._qindex_keys.clear()
-        self._qindex_all.clear()
-        self._qindex_table.clear()
+        with self._lock:
+            self._qindex_built.clear()
+            self._qindex_keys.clear()
+            self._qindex_all.clear()
+            self._qindex_table.clear()
 
     # ------------------------------------------------------------------ lookups
 
@@ -422,13 +469,14 @@ class RecordStore:
         strictly after ``since_ts``, in timestamp order.  Buckets are kept
         time-ordered, so this is a heap merge of pre-sorted runs of
         answers — no per-call sort.  Callers re-check precisely."""
-        self._build_index(table)
-        if whole_table:
-            buckets = [self._qindex_table.get(table, [])]
-        else:
-            buckets = [self._qindex_keys.get(key, []) for key in keys]
-            buckets.append(self._qindex_all.get(table, []))
-        return merge_bucket_tails(buckets, since_ts)
+        with self._lock:
+            self._build_index(table)
+            if whole_table:
+                buckets = [self._qindex_table.get(table, [])]
+            else:
+                buckets = [self._qindex_keys.get(key, []) for key in keys]
+                buckets.append(self._qindex_all.get(table, []))
+            return merge_bucket_tails(buckets, since_ts)
 
     def _build_index(self, table: str) -> None:
         if table in self._qindex_built:
@@ -496,6 +544,10 @@ class RecordStore:
         entries (paper §5.2).  Oldest visit logs beyond the quota are
         dropped in one pass per client (their server-side run records
         remain)."""
+        with self._lock:
+            return self._enforce_client_quota(max_visits_per_client)
+
+    def _enforce_client_quota(self, max_visits_per_client: int) -> int:
         dropped = 0
         for client_id, visit_ids in self._client_visits.items():
             excess = len(visit_ids) - max_visits_per_client
@@ -521,6 +573,10 @@ class RecordStore:
         liveness ("does any run of this visit survive?") is answered from
         the ``(client, visit)`` index instead of rescanning all runs.
         """
+        with self._lock:
+            return self._gc(horizon_ts)
+
+    def _gc(self, horizon_ts: int) -> int:
         removed = 0
         keep_order: List[int] = []
         dead_runs: List[AppRunRecord] = []
@@ -581,11 +637,18 @@ class RecordStore:
     def to_snapshot(self) -> dict:
         """Serializable image of all primary records (indexes are derived
         state and are rebuilt on load)."""
-        return {
-            "runs": [self.runs[run_id].to_dict() for run_id in self._run_order],
-            "visits": [visit.to_dict() for visit in self.visits.values()],
-            "patches": [patch.to_dict() for patch in self.patches],
-        }
+        with self._lock:
+            snapshot = {
+                "runs": [self.runs[run_id].to_dict() for run_id in self._run_order],
+                "visits": [visit.to_dict() for visit in self.visits.values()],
+                "patches": [patch.to_dict() for patch in self.patches],
+            }
+            if self.pending_gate_queue:
+                snapshot["gate_queue"] = [
+                    self.pending_gate_queue[ticket]
+                    for ticket in sorted(self.pending_gate_queue)
+                ]
+            return snapshot
 
     @classmethod
     def from_snapshot(cls, data: dict, wal: Optional[RecordWal] = None) -> "RecordStore":
@@ -596,6 +659,8 @@ class RecordStore:
             store.add_run(AppRunRecord.from_dict(item))
         for item in data.get("patches", ()):
             store.add_patch(PatchRecord.from_dict(item))
+        for item in data.get("gate_queue", ()):
+            store.pending_gate_queue[item["ticket"]] = item
         store.wal = wal
         return store
 
@@ -731,3 +796,12 @@ class RecordStore:
             self.enforce_client_quota(data["max_visits_per_client"])
         elif kind == "gc":
             self.gc(data["horizon_ts"])
+        elif kind == "gate_queue":
+            # Idempotent: re-replaying over a snapshot that already applied
+            # (or already holds) the ticket must not resurrect/duplicate it.
+            ticket = data["ticket"]
+            if ticket not in self._applied_gate_tickets:
+                self.pending_gate_queue.setdefault(ticket, data)
+        elif kind == "gate_apply":
+            self._applied_gate_tickets.add(data["ticket"])
+            self.pending_gate_queue.pop(data["ticket"], None)

@@ -13,6 +13,7 @@ in-place execution with no versioning and no dependency information.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
@@ -116,6 +117,13 @@ class TimeTravelDB:
         #: Versions created/fenced by the active repair generation; makes
         #: ``abort_repair`` O(repair footprint).
         self._journal: Optional[RepairJournal] = None
+        #: Serializes statement execution and generation transitions so
+        #: concurrent request threads can hammer the live generation while
+        #: a repair writes the next one.  Statement-granular: a run's
+        #: queries may interleave with other runs' (as on a real server);
+        #: recorded per-query timestamps preserve the actual order for
+        #: repair-time re-execution.
+        self._lock = threading.RLock()
 
     # -- schema ----------------------------------------------------------------
 
@@ -190,12 +198,47 @@ class TimeTravelDB:
             repair=True,
             journal=self._journal,
         )
-        rows = self.executor.matching_rows(
-            _table_of(stmt), where, tuple(params), ctx, stmt=stmt, sql=sql
-        )
+        with self._lock:
+            rows = self.executor.matching_rows(
+                _table_of(stmt), where, tuple(params), ctx, stmt=stmt, sql=sql
+            )
         return tuple(version.row_id for version in rows)
 
+    def peek(self, sql: str, params: Sequence[object] = ()) -> TTResult:
+        """Execute a read-only statement at the current time in the current
+        generation *without* advancing the clock or counting as workload.
+
+        Used by the online-repair gate to resolve request-derived values
+        (e.g. the session's user) before deciding whether to serve a
+        request; a probe must not perturb the logical timeline.
+        """
+        stmt = parse(sql)
+        if ast.is_write(stmt):
+            raise RepairError("peek only executes read-only statements")
+        ctx = ExecContext(
+            ts=self.clock.now(),
+            gen=self.current_gen,
+            current_gen=self.current_gen,
+            repair=False,
+        )
+        with self._lock:
+            result = self.executor.execute(stmt, tuple(params), ctx, sql=sql)
+        return TTResult(
+            sql=sql,
+            params=tuple(params),
+            ts=ctx.ts,
+            gen=ctx.gen,
+            result=result,
+            read_set=ReadSet(_table_of(stmt), disjuncts=None),
+        )
+
     def _run(
+        self, stmt: ast.Statement, sql: str, params: Tuple[object, ...], ctx: ExecContext
+    ) -> TTResult:
+        with self._lock:
+            return self._run_locked(stmt, sql, params, ctx)
+
+    def _run_locked(
         self, stmt: ast.Statement, sql: str, params: Tuple[object, ...], ctx: ExecContext
     ) -> TTResult:
         schema = self.database.table(_table_of(stmt)).schema
@@ -226,21 +269,25 @@ class TimeTravelDB:
 
     def begin_repair(self) -> int:
         """Fork the next repair generation (paper §4.3)."""
-        if self.repair_gen is not None:
-            raise RepairError("a repair generation is already active")
-        if not self.enabled:
-            raise RepairError("time-travel is disabled; repair is impossible")
-        self.repair_gen = self.current_gen + 1
-        self._journal = RepairJournal()
-        return self.repair_gen
+        with self._lock:
+            if self.repair_gen is not None:
+                raise RepairError("a repair generation is already active")
+            if not self.enabled:
+                raise RepairError("time-travel is disabled; repair is impossible")
+            self.repair_gen = self.current_gen + 1
+            self._journal = RepairJournal()
+            return self.repair_gen
 
     def finalize_repair(self) -> None:
-        """Atomically switch the repaired generation live."""
-        if self.repair_gen is None:
-            raise RepairError("no repair generation is active")
-        self.current_gen = self.repair_gen
-        self.repair_gen = None
-        self._journal = None
+        """Atomically switch the repaired generation live.  The lock makes
+        the switch atomic with respect to in-flight statements: no
+        statement observes a half-switched generation pair."""
+        with self._lock:
+            if self.repair_gen is None:
+                raise RepairError("no repair generation is active")
+            self.current_gen = self.repair_gen
+            self.repair_gen = None
+            self._journal = None
 
     def abort_repair(self) -> None:
         """Discard the repair generation, restoring the pre-repair state.
@@ -254,6 +301,10 @@ class TimeTravelDB:
         every table; the scan remains as a fallback for restored states
         with no journal.
         """
+        with self._lock:
+            self._abort_repair_locked()
+
+    def _abort_repair_locked(self) -> None:
         if self.repair_gen is None:
             raise RepairError("no repair generation is active")
         repair_gen = self.repair_gen
@@ -304,9 +355,10 @@ class TimeTravelDB:
         if self.repair_gen is None:
             raise RepairError("rollback requires an active repair generation")
         table = self.database.table(table_name)
-        return _rollback_row(
-            table, row_id, ts, self.current_gen, self.repair_gen, self._journal
-        )
+        with self._lock:
+            return _rollback_row(
+                table, row_id, ts, self.current_gen, self.repair_gen, self._journal
+            )
 
     # -- maintenance ------------------------------------------------------------------
 
@@ -314,12 +366,13 @@ class TimeTravelDB:
         """Drop row versions unreachable from ``horizon_ts`` onwards, plus
         versions stranded in superseded generations (paper §4.2)."""
         removed = 0
-        for table in self.database.tables.values():
-            for version in list(table.all_versions()):
-                if version.end_gen < self.current_gen:
-                    table.remove_version(version)
-                    removed += 1
-            removed += table.gc(horizon_ts)
+        with self._lock:
+            for table in self.database.tables.values():
+                for version in list(table.all_versions()):
+                    if version.end_gen < self.current_gen:
+                        table.remove_version(version)
+                        removed += 1
+                removed += table.gc(horizon_ts)
         return removed
 
     def total_versions(self) -> int:

@@ -35,7 +35,9 @@ from repro.http.server import HttpServer
 from repro.repair.conflicts import Conflict, ConflictQueue
 from repro.core.errors import RepairError
 from repro.core.serialize import decode_tree, encode_tree
+from repro.http.message import HttpRequest, HttpResponse
 from repro.repair.controller import RepairController, RepairResult
+from repro.repair.gate import RepairGate
 from repro.repair.replay import ReplayConfig
 from repro.store.recordstore import RecordStore
 from repro.store.wal import RecordWal, open_wal
@@ -53,6 +55,8 @@ class WarpSystem:
         replay_config: Optional[ReplayConfig] = None,
         wal_path: Optional[str] = None,
         cluster_mode: str = "sequential",
+        online_gate: bool = False,
+        gate_policy: str = "partition",
     ) -> None:
         self.origin = origin
         self.enabled = enabled
@@ -95,6 +99,19 @@ class WarpSystem:
         #: Script versions the persisted deployment had (set by ``load``);
         #: repair refuses to run until re-registered code catches up.
         self._expected_script_versions: Dict[str, int] = {}
+        if online_gate:
+            self.enable_online_repair(policy=gate_policy)
+
+    def enable_online_repair(self, policy: str = "partition") -> RepairGate:
+        """Install the partition-scoped write gate (repro.repair.gate):
+        while a repair runs, requests whose footprint is disjoint from the
+        repair are served live and conflicting ones are queued (202) and
+        re-applied exactly once after the generation switch.  ``policy``
+        is ``"partition"`` or ``"global"`` (the conservative queue-all
+        baseline).  Without this, repairs keep the legacy behavior: serve
+        everything live and re-apply affected runs at finalize."""
+        self.server.gate = RepairGate(self.ttdb, self.graph, policy=policy)
+        return self.server.gate
 
     # -- clients -----------------------------------------------------------------
 
@@ -325,6 +342,38 @@ class WarpSystem:
                 default=0,
             ),
         )
+
+    # -- crash recovery of gate-queued requests ----------------------------------
+
+    def recovered_queued_requests(self) -> list:
+        """Requests the online gate queued before a crash and never
+        re-applied (journaled via the WAL / snapshot), as ``(ticket,
+        HttpRequest)`` in arrival order.  Empty in normal operation —
+        finalize and abort both drain the queue."""
+        pending = self.graph.store.pending_gate_queue
+        return [
+            (entry["ticket"], HttpRequest.from_dict(entry["request"]))
+            for entry in sorted(
+                pending.values(), key=lambda e: (e["ts"], e["ticket"])
+            )
+        ]
+
+    def reapply_recovered_requests(self) -> Dict[int, HttpResponse]:
+        """Serve every recovered queued request exactly once, in arrival
+        order, against the current live generation; each application is
+        journaled (``gate_apply``) so a crash-and-replay never duplicates
+        one.  Call after re-registering application code."""
+        responses: Dict[int, HttpResponse] = {}
+        for ticket, request in self.recovered_queued_requests():
+            try:
+                responses[ticket] = self.server.handle(request)
+            except Exception as exc:
+                responses[ticket] = HttpResponse(
+                    status=500,
+                    body=f"script raised during recovered re-application: {exc!r}",
+                )
+            self.graph.store.log_gate_apply(ticket)
+        return responses
 
     def resolve_conflict_by_cancel(self, conflict: Conflict) -> RepairResult:
         """The paper's conflict-resolution UI: cancel the conflicted visit.

@@ -7,6 +7,12 @@ their browsers; more legitimate activity follows) and returns handles for
 repairing and asserting ground truth.
 """
 
+from repro.workload.loadgen import (
+    LoadClient,
+    LoadGen,
+    LoadStats,
+    make_load_clients,
+)
 from repro.workload.scenarios import (
     ATTACK_TYPES,
     MultiTenantOutcome,
@@ -23,4 +29,8 @@ __all__ = [
     "ATTACK_TYPES",
     "MultiTenantOutcome",
     "run_multi_tenant_scenario",
+    "LoadClient",
+    "LoadGen",
+    "LoadStats",
+    "make_load_clients",
 ]

@@ -1,0 +1,296 @@
+"""Concurrent load driver: real threads hammering a WARP deployment.
+
+The §4.3 claim — repair runs while the site keeps serving users — is only
+testable with traffic that actually overlaps the repair.  ``LoadGen``
+drives a configurable mix of wiki operations from a pool of dedicated
+load clients (each with its own session cookie jar and its own private
+page) against ``HttpServer.handle``:
+
+* **threaded mode** (``run_threads``): N worker threads issue requests
+  until a deadline or per-thread budget, timing every call — this is what
+  the online-repair benchmark uses while a repair runs on the main thread;
+* **inline mode** (``next_request``/``issue``): one deterministic request
+  at a time, for the cooperative interleaving harness in the tests.
+
+Each request carries a unique ``marker`` parameter (ignored by reads,
+appended by writes), so "applied exactly once" is checkable by counting
+marker occurrences in page text afterwards.
+
+The driver is deliberately headerless-browser traffic: requests carry the
+``X-Warp-Client`` correlation header but no visit/event logs, modelling
+API clients or extension-less users (Table 4's no-extension rows).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.http.message import HttpRequest, HttpResponse
+
+#: Default operation mix (weights): mostly reads, a steady write stream.
+DEFAULT_MIX = {"view_form": 5, "append": 3, "index": 0}
+
+
+@dataclass
+class LoadStats:
+    """Outcome of one load run (merged across threads)."""
+
+    served: int = 0  # 2xx except 202
+    queued: int = 0  # 202 with a ticket
+    rejected: int = 0  # 503
+    errors: int = 0  # anything else
+    latencies: List[float] = field(default_factory=list)
+    by_status: Dict[int, int] = field(default_factory=dict)
+    tickets: List[int] = field(default_factory=list)
+    #: (marker, page) of every issued write, for exactly-once checks.
+    writes: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.served + self.queued + self.rejected + self.errors
+
+    def served_fraction(self) -> float:
+        return self.served / self.total if self.total else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def note(self, response: HttpResponse, seconds: float) -> None:
+        self.by_status[response.status] = self.by_status.get(response.status, 0) + 1
+        self.latencies.append(seconds)
+        if response.status == 202 and "X-Warp-Queued" in response.headers:
+            self.queued += 1
+            self.tickets.append(int(response.headers["X-Warp-Queued"]))
+        elif 200 <= response.status < 300:
+            self.served += 1
+        elif response.status == 503:
+            self.rejected += 1
+        else:
+            self.errors += 1
+
+    def merge(self, other: "LoadStats") -> None:
+        self.served += other.served
+        self.queued += other.queued
+        self.rejected += other.rejected
+        self.errors += other.errors
+        self.latencies.extend(other.latencies)
+        self.tickets.extend(other.tickets)
+        self.writes.extend(other.writes)
+        for status, count in other.by_status.items():
+            self.by_status[status] = self.by_status.get(status, 0) + count
+
+
+class LoadClient:
+    """One simulated user: client id, cookie jar, login bootstrap."""
+
+    def __init__(self, name: str, server) -> None:
+        self.name = name
+        self.client_id = f"{name}-load"
+        self.server = server
+        self.cookies: Dict[str, str] = {}
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, str]] = None,
+    ) -> HttpRequest:
+        return HttpRequest(
+            method=method,
+            path=path,
+            params=dict(params or {}),
+            cookies=dict(self.cookies),
+            headers={"X-Warp-Client": self.client_id},
+        )
+
+    def send(self, request: HttpRequest) -> HttpResponse:
+        response = self.server.handle(request)
+        for name, value in response.set_cookies.items():
+            if value is None:
+                self.cookies.pop(name, None)
+            else:
+                self.cookies[name] = value
+        return response
+
+    def login(self, password: str) -> HttpResponse:
+        return self.send(
+            self.request(
+                "POST",
+                "/login.php",
+                {"wpName": self.name, "wpPassword": password},
+            )
+        )
+
+
+class LoadGen:
+    """Generates a deterministic request stream over a set of pages.
+
+    ``mix`` weights the operation types (``view_form`` — GET the edit
+    form, ``append`` — POST an append, ``index`` — a page view whose
+    sitestats ``COUNT(*)`` reads ALL partitions and therefore always
+    conflicts with any page repair: include it to measure conservative
+    gating).  ``pages`` is the partition universe the stream touches.
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[LoadClient],
+        pages: Sequence[str],
+        mix: Optional[Dict[str, int]] = None,
+        seed: int = 0,
+        pin_clients: bool = True,
+    ) -> None:
+        if not clients or not pages:
+            raise ValueError("loadgen needs at least one client and one page")
+        self.clients = list(clients)
+        self.pages = list(pages)
+        self.mix = dict(mix or DEFAULT_MIX)
+        self.seed = seed
+        self._ops = [op for op, weight in sorted(self.mix.items()) for _ in range(weight)]
+        if not self._ops:
+            raise ValueError("empty operation mix")
+        #: pin_clients: each client works a fixed round-robin slice of the
+        #: pages (users edit their own stuff).  Unpinned, every client
+        #: eventually edits every page, which entangles all partitions
+        #: through the shared ``editor`` column — realistic for a free-for-
+        #: all wiki, but it makes *any* repair's taint reach most pages.
+        self._pages_of: Dict[str, List[str]] = {}
+        for index, client in enumerate(self.clients):
+            if pin_clients:
+                slice_ = self.pages[index % len(self.pages) :: len(self.clients)] or [
+                    self.pages[index % len(self.pages)]
+                ]
+            else:
+                slice_ = self.pages
+            self._pages_of[client.client_id] = slice_
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def _next_marker(self) -> int:
+        with self._lock:
+            self._counter += 1
+            return self._counter
+
+    def build_request(
+        self,
+        rng: random.Random,
+        stats: LoadStats,
+        clients: Optional[Sequence[LoadClient]] = None,
+    ) -> Tuple[LoadClient, HttpRequest]:
+        client = rng.choice(clients if clients is not None else self.clients)
+        page = rng.choice(self._pages_of[client.client_id])
+        op = rng.choice(self._ops)
+        marker = f"mk{self._next_marker()}."
+        if op == "append":
+            stats.writes.append((marker, page))
+            return client, client.request(
+                "POST", "/edit.php", {"title": page, "append": f"\n{marker}"}
+            )
+        if op == "index":
+            return client, client.request(
+                "GET", "/index.php", {"title": page, "marker": marker}
+            )
+        return client, client.request(
+            "GET", "/edit.php", {"title": page, "marker": marker}
+        )
+
+    def issue(
+        self,
+        rng: random.Random,
+        stats: LoadStats,
+        clients: Optional[Sequence[LoadClient]] = None,
+    ) -> HttpResponse:
+        """Issue one request inline (cooperative harness building block)."""
+        client, request = self.build_request(rng, stats, clients)
+        started = _time.perf_counter()
+        response = client.send(request)
+        stats.note(response, _time.perf_counter() - started)
+        return response
+
+    # -- threaded mode -----------------------------------------------------
+
+    def run_threads(
+        self,
+        n_threads: int,
+        duration: Optional[float] = None,
+        requests_per_thread: Optional[int] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> LoadStats:
+        """Hammer the server from ``n_threads`` real threads.
+
+        Stops when ``duration`` elapses, each thread has issued its
+        budget, or ``stop`` is set — whichever comes first.  Returns the
+        merged stats; per-thread RNGs are seeded from ``seed`` so the
+        request *content* is deterministic even though the interleaving
+        is not.
+        """
+        if duration is None and requests_per_thread is None and stop is None:
+            raise ValueError("need a duration, a request budget, or a stop event")
+        deadline = None if duration is None else _time.perf_counter() + duration
+        buckets = [LoadStats() for _ in range(n_threads)]
+        errors: List[BaseException] = []
+
+        def worker(index: int) -> None:
+            rng = random.Random((self.seed << 8) | index)
+            stats = buckets[index]
+            # Each thread owns a disjoint client slice: one client (and so
+            # one cookie jar / page slice) is never driven concurrently,
+            # so two in-flight appends can't race the same page's
+            # read-modify-write and lose an update.  With more threads
+            # than clients the surplus threads have nothing disjoint to
+            # drive and exit idle.
+            mine = self.clients[index::n_threads]
+            if not mine:
+                return
+            issued = 0
+            try:
+                while True:
+                    if stop is not None and stop.is_set():
+                        return
+                    if deadline is not None and _time.perf_counter() >= deadline:
+                        return
+                    if requests_per_thread is not None and issued >= requests_per_thread:
+                        return
+                    self.issue(rng, stats, mine)
+                    issued += 1
+            except BaseException as exc:  # surfaced to the caller
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,), daemon=True)
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        merged = LoadStats()
+        for bucket in buckets:
+            merged.merge(bucket)
+        return merged
+
+
+def make_load_clients(
+    wiki, server, names: Sequence[str], password_prefix: str = "pw-"
+) -> List[LoadClient]:
+    """Seed and log in one load client per name (the logins are recorded
+    runs, so they happen *before* any repair that should stay disjoint)."""
+    clients = []
+    for name in names:
+        wiki.seed_user(name, f"{password_prefix}{name}")
+        client = LoadClient(name, server)
+        response = client.login(f"{password_prefix}{name}")
+        if response.status != 200:
+            raise RuntimeError(f"load client {name} failed to log in: {response.status}")
+        clients.append(client)
+    return clients

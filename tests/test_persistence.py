@@ -361,6 +361,80 @@ class TestWarpSystemPersistence:
         warp = WarpSystem(wal_path=wal_path)  # must not raise
         assert warp.graph.n_runs == 0
 
+    def test_crash_between_switch_and_queue_drain_loses_no_queued_request(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash injection for the online-repair gate: the process dies
+        after the generation switch but before ``repair_active`` clearing
+        finished its work (the queued-request drain).  Recovery must see
+        every queued request exactly once — journaled ``gate_queue``
+        entries with no matching ``gate_apply`` — and re-application after
+        reload must not duplicate one, even across repeated WAL replays."""
+        from repro.repair.controller import RepairController
+        from repro.workload.loadgen import LoadClient, make_load_clients
+
+        wal_path = str(tmp_path / "records.wal")
+        warp, wiki = build_workload(wal_path=wal_path)
+        attacker = LoadClient("attacker-lc", warp.server)
+        wiki.seed_user("attacker-lc", "pw-attacker-lc")
+        assert attacker.login("pw-attacker-lc").status == 200
+        assert attacker.send(
+            attacker.request(
+                "POST", "/edit.php", {"title": "News", "append": "\nDEFACED."}
+            )
+        ).status == 200
+        (bystander,) = make_load_clients(wiki, warp.server, ["bys"])
+        snapshot = str(tmp_path / "warp.json")
+        warp.save(snapshot)
+
+        warp.enable_online_repair()
+        queued_tickets = []
+
+        def hook():
+            if not queued_tickets:
+                response = bystander.send(
+                    bystander.request(
+                        "POST", "/edit.php", {"title": "News", "append": "\nrecover-me."}
+                    )
+                )
+                assert response.status == 202
+                queued_tickets.append(int(response.headers["X-Warp-Queued"]))
+
+        # The crash: the drain (the tail of repair_active clearing) never
+        # runs — the generation switch itself completed.
+        monkeypatch.setattr(
+            RepairController, "_drain_gate_queue", lambda self: None
+        )
+        controller = warp._controller()
+        controller.step_hook = hook
+        result = controller.cancel_client(attacker.client_id)
+        assert result.ok and queued_tickets
+        assert warp.graph.store.pending_gate_queue  # journaled, undrained
+        monkeypatch.undo()
+
+        # Fresh process: recover snapshot + WAL.
+        reloaded = WarpSystem.load(snapshot, wal_path=wal_path)
+        WikiApp(reloaded.ttdb, reloaded.scripts, reloaded.server).register_code()
+        recovered = reloaded.recovered_queued_requests()
+        assert [ticket for ticket, _ in recovered] == queued_tickets
+        # The database is only as fresh as the snapshot: re-run the repair,
+        # then re-apply the recovered queue exactly once.
+        assert reloaded.cancel_client(attacker.client_id).ok
+        responses = reloaded.reapply_recovered_requests()
+        assert responses[queued_tickets[0]].status == 200
+        text = WikiApp(
+            reloaded.ttdb, reloaded.scripts, reloaded.server
+        ).page_text("News")
+        assert "DEFACED." not in text
+        assert text.count("recover-me.") == 1
+        assert reloaded.graph.store.pending_gate_queue == {}
+        assert reloaded.recovered_queued_requests() == []
+
+        # WAL replay stays idempotent through the gate entries: another
+        # recovery sees the ticket consumed, never re-pending.
+        again = WarpSystem.load(snapshot, wal_path=wal_path)
+        assert again.recovered_queued_requests() == []
+
     def test_repair_refuses_until_code_is_reregistered(self, tmp_path):
         from repro.core.errors import RepairError
 
