@@ -7,12 +7,15 @@ the offending page visit with WARP: the grant and every action it enabled
 are undone, and the user gets a queued conflict to resolve on next login.
 
 Also demonstrates the abort rule: a *regular user's* undo that would
-create conflicts for someone else is rolled back entirely.
+create conflicts for someone else is rolled back entirely — and the
+Repair API v2 workflow (see API.md): preview the undo's impact first,
+then submit it as an observable job.
 
 Run:  python examples/admin_undo.py
 """
 
 from repro.apps.wiki import WikiApp
+from repro.repair.api import CancelVisitSpec
 from repro.warp import WarpSystem
 
 WIKI = "http://wiki.test"
@@ -50,11 +53,20 @@ def main() -> None:
     mallory.click("input[name=save]")
     print(f"mallory edited Secret: {wiki.page_text('Secret')!r}")
 
-    # The admin notices and undoes the *grant page visit* retroactively.
-    result = warp.cancel_visit(
-        "admin-browser", grant_visit.visit_id, initiated_by_admin=True
+    # The admin notices.  Before committing to the repair, a dry-run
+    # preview (Repair API v2) estimates the blast radius — read-only,
+    # no repair generation is created.
+    spec = CancelVisitSpec(client_id="admin-browser", visit_id=grant_visit.visit_id)
+    plan = warp.repair.preview(spec)
+    print(
+        f"\npreview: ~{plan.affected_runs}/{plan.total_runs} runs in "
+        f"{plan.n_groups} component(s), clients {plan.affected_clients}"
     )
-    print(f"\nadmin canceled the grant: repaired={result.ok}")
+
+    # Then the undo runs as an observable job; result() is the blocking join.
+    job = warp.repair.submit(spec)
+    result = job.result()
+    print(f"admin canceled the grant: job={job.job_id} repaired={result.ok}")
     print(f"Secret is now: {wiki.page_text('Secret')!r}")
     print(f"ACL for Secret: {wiki.acl_users('Secret')}")
     assert wiki.page_text("Secret") == "launch codes: 0000"

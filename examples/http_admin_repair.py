@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Drive a full intrusion recovery purely over the HTTP admin surface.
+
+The Repair API v2 (see API.md) mounts privileged control-plane routes on
+the same logged server that serves the application, so an operator's
+tooling needs nothing but HTTP:
+
+1. stand up a WARP-protected wiki and let a stored-XSS attack unfold,
+2. register the vendor patch in the job manager's catalog (script
+   exports are Python callables — the catalog is how JSON specs
+   reference them),
+3. ``POST /warp/admin/repair/preview`` — the what-if: which
+   taint-connected components, clients, and partitions would the repair
+   touch, *before* committing to it,
+4. ``POST /warp/admin/repair`` with the same spec JSON — returns a job
+   id immediately; the repair runs on a worker thread,
+5. poll ``GET /warp/admin/repair/<id>`` until the job finalizes, then
+   read the stats and check ``GET /warp/admin/conflicts``.
+
+Every admin call goes through ``HttpServer.handle`` — the exact same
+entry point the attack traffic used — authenticated by the deployment's
+admin token.
+
+Run:  python examples/http_admin_repair.py
+"""
+
+import json
+import time
+
+from repro.apps.wiki import WikiApp, patch_for
+from repro.http.message import HttpRequest
+from repro.warp import WarpSystem
+
+WIKI = "http://wiki.test"
+TOKEN = "example-admin-token"
+
+
+def admin_call(warp, method, path, **params):
+    """One control-plane request over the logged server."""
+    request = HttpRequest(
+        method, path, params=params, headers={"X-Warp-Admin-Token": TOKEN}
+    )
+    response = warp.server.handle(request)
+    assert response.status < 500, response.body
+    return response.status, json.loads(response.body)
+
+
+def main() -> None:
+    # -- 1. deploy + attack (condensed quickstart) ---------------------------
+    warp = WarpSystem(origin=WIKI, admin_token=TOKEN)
+    wiki = WikiApp(warp.ttdb, warp.scripts, warp.server)
+    wiki.install()
+    wiki.seed_user("alice", "alice-pw")
+    wiki.seed_user("attacker", "evil-pw")
+    wiki.seed_page("alice_notes", "alice's notes", owner="alice", public=False)
+
+    alice = warp.client("alice-laptop")
+    alice.open(f"{WIKI}/login.php")
+    alice.type_into("input[name=wpName]", "alice")
+    alice.type_into("input[name=wpPassword]", "alice-pw")
+    alice.submit("#loginform")
+
+    evil = warp.client("attacker-box")
+    evil.open(f"{WIKI}/login.php")
+    evil.type_into("input[name=wpName]", "attacker")
+    evil.type_into("input[name=wpPassword]", "evil-pw")
+    evil.submit("#loginform")
+    evil.open(f"{WIKI}/special_block.php?ip=6.6.6.6")
+    evil.type_into(
+        "input[name=reason]",
+        "<script>var u = doc_text('#username');"
+        "http_post('/edit.php', {'title': u + '_notes', 'append': ' HACKED'});"
+        "</script>",
+    )
+    evil.click("input[name=report]")
+    alice.open(f"{WIKI}/special_block.php?ip=6.6.6.6")  # payload fires
+    assert "HACKED" in wiki.page_text("alice_notes")
+    print(f"after the attack: alice_notes = {wiki.page_text('alice_notes')!r}")
+
+    # A wrong token is rejected before anything else happens.
+    denied = warp.server.handle(HttpRequest("GET", "/warp/admin/repair"))
+    assert denied.status == 403
+    print("admin call without the token: 403 (privileged surface)")
+
+    # -- 2. register the vendor patch in the catalog -------------------------
+    patch = patch_for("stored-xss")
+    warp.repair.register_patch("stored-xss-fix", patch.file, patch.build())
+    spec_json = json.dumps({"kind": "patch", "patch_name": "stored-xss-fix"})
+
+    # -- 3. what-if preview --------------------------------------------------
+    status, plan = admin_call(
+        warp, "POST", "/warp/admin/repair/preview", spec=spec_json
+    )
+    print(
+        f"\npreview ({status}): ~{plan['affected_runs']}/{plan['total_runs']} "
+        f"runs across {plan['n_groups']} component(s); "
+        f"clients {plan['affected_clients']}; futile={plan['futile']}"
+    )
+
+    # -- 4. submit -----------------------------------------------------------
+    status, submitted = admin_call(warp, "POST", "/warp/admin/repair", spec=spec_json)
+    job_id = submitted["job_id"]
+    print(f"submitted ({status}): job_id={job_id}")
+
+    # -- 5. poll to completion ----------------------------------------------
+    for _ in range(1000):
+        _, doc = admin_call(warp, "GET", f"/warp/admin/repair/{job_id}")
+        if doc["status"] in ("done", "failed", "aborted", "canceled"):
+            break
+        time.sleep(0.01)
+    assert doc["status"] == "done", doc
+    stats = doc["result"]["stats"]
+    print(
+        f"job {job_id} {doc['status']}: re-executed "
+        f"{stats['visits_reexecuted']} visits / {stats['runs_reexecuted']} runs / "
+        f"{stats['queries_reexecuted']} queries "
+        f"(of {stats['total_visits']}/{stats['total_runs']}/{stats['total_queries']})"
+    )
+    print("events:", " -> ".join(e["event"] for e in doc["events"]))
+
+    _, conflicts = admin_call(warp, "GET", "/warp/admin/conflicts")
+    print(f"pending conflicts: {len(conflicts['pending'])}")
+
+    repaired = wiki.page_text("alice_notes")
+    print(f"\nafter repair: alice_notes = {repaired!r}")
+    assert "HACKED" not in repaired, "attack must be undone"
+    print("attack undone, driven entirely over /warp/admin HTTP endpoints.")
+
+
+if __name__ == "__main__":
+    main()

@@ -149,6 +149,27 @@ class ActionHistoryGraph:
     def child_visits(self, client_id: str, visit_id: int) -> List[VisitRecord]:
         return self.store.child_visits(client_id, visit_id)
 
+    def visit_and_descendants(self, client_id: str, visit_id: int) -> List[int]:
+        """Canceling a page visit undoes all of its HTTP requests — which
+        includes the navigations (form posts, link follows) its events
+        caused, i.e. its descendant visits.  Shared by repair execution
+        and the dry-run planner so both walk the same damage set.  The
+        parent→children index makes this O(descendants), not O(client
+        history) per level."""
+        out = [visit_id]
+        seen = {visit_id}
+        frontier = [visit_id]
+        while frontier:
+            next_frontier = []
+            for parent_id in frontier:
+                for record in self.child_visits(client_id, parent_id):
+                    if record.visit_id not in seen:
+                        seen.add(record.visit_id)
+                        out.append(record.visit_id)
+                        next_frontier.append(record.visit_id)
+            frontier = next_frontier
+        return out
+
     def last_visit_id(self, client_id: str) -> int:
         return self.store.last_visit_id(client_id)
 

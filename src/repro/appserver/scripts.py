@@ -54,6 +54,17 @@ class ScriptStore:
         script = self.get(name)
         return script.add_version(exports)
 
+    def revert_patch(self, name: str, version: int) -> bool:
+        """Remove a just-applied patch (an aborted/canceled repair rolls
+        back the whole batch, staged code versions included).  Only the
+        *current* version can be popped — if something patched on top in
+        the meantime the revert is refused, never version-spliced."""
+        script = self.get(name)
+        if script.current_version != version or version == 0:
+            return False
+        script.versions.pop()
+        return True
+
     def get(self, name: str) -> Script:
         try:
             return self._scripts[name]

@@ -23,6 +23,12 @@ class RepairError(ReproError):
     """Raised when the repair controller cannot make progress."""
 
 
+class RepairCanceled(RepairError):
+    """An administrator canceled an in-flight repair job; the controller
+    unwinds through the abort path (the repair generation is discarded and
+    the live generation is untouched)."""
+
+
 class ConflictError(ReproError):
     """Raised internally when browser replay cannot proceed.
 

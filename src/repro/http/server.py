@@ -57,6 +57,15 @@ class HttpServer:
         self.recording = True
         #: Online-repair gate; None keeps the legacy serve-everything flow.
         self.gate: Optional["RepairGate"] = None
+        #: Privileged control-plane surface (repro.repair.jobs.AdminApi):
+        #: requests under ``admin_prefix`` are dispatched here — never
+        #: recorded, never gated, served even during a repair.
+        self.admin_handler: Optional[Callable[[HttpRequest], HttpResponse]] = None
+        self.admin_prefix = "/warp/admin"
+        #: When set, admin requests must carry it in X-Warp-Admin-Token.
+        self.admin_token: Optional[str] = None
+        #: Switch-window drain bound (instance-level so tests can shrink it).
+        self.switch_wait_seconds = _SWITCH_WAIT_SECONDS
         #: Requests currently executing (drained before a generation switch).
         self._in_flight = 0
         self._state_lock = threading.Lock()
@@ -80,14 +89,14 @@ class HttpServer:
         with self._state_cond:
             self.suspended = True
             drained = self._state_cond.wait_for(
-                lambda: self._in_flight == 0, timeout=_SWITCH_WAIT_SECONDS
+                lambda: self._in_flight == 0, timeout=self.switch_wait_seconds
             )
             if not drained:
                 self.suspended = False
                 self._state_cond.notify_all()
                 raise RuntimeError(
                     f"{self._in_flight} request(s) still in flight after "
-                    f"{_SWITCH_WAIT_SECONDS}s: refusing a non-atomic "
+                    f"{self.switch_wait_seconds}s: refusing a non-atomic "
                     "generation switch"
                 )
 
@@ -96,19 +105,25 @@ class HttpServer:
             self.suspended = False
             self._state_cond.notify_all()
 
-    def _enter(self) -> bool:
-        """Admit one request past the suspend window; False -> give up (503)."""
+    def _enter(self) -> Optional[str]:
+        """Admit one request past the suspend window.  ``None`` admits;
+        otherwise the refusal reason: ``"switch"`` (transient — the
+        generation-switch window, retry shortly) or ``"wedged"`` (the
+        switch never completed within the drain bound — a repair script
+        is probably stuck and an operator must intervene)."""
         with self._state_cond:
             if self.suspended:
                 if self.gate is None:
-                    # Legacy behavior: a manual suspend 503s immediately.
-                    return False
+                    # Legacy behavior: a manual suspend 503s immediately —
+                    # the switch window is a handful of dict operations,
+                    # so an immediate retry succeeds.
+                    return "switch"
                 if not self._state_cond.wait_for(
-                    lambda: not self.suspended, timeout=_SWITCH_WAIT_SECONDS
+                    lambda: not self.suspended, timeout=self.switch_wait_seconds
                 ):
-                    return False
+                    return "wedged"
             self._in_flight += 1
-            return True
+            return None
 
     def _exit(self) -> None:
         with self._state_cond:
@@ -124,8 +139,39 @@ class HttpServer:
         """Serve one request during normal operation.  ``bypass_gate`` is
         for the queue drain itself: a parked request being re-applied must
         not re-queue against the still-active gate."""
-        if not self._enter():
-            return HttpResponse(status=503, body="server briefly suspended for repair")
+        if self.admin_handler is not None and request.path.startswith(
+            self.admin_prefix
+        ):
+            # Control plane: privileged, unrecorded, ungated — and served
+            # outside the suspend window so status polls work mid-switch.
+            if (
+                self.admin_token is not None
+                and request.headers.get("X-Warp-Admin-Token") != self.admin_token
+            ):
+                return HttpResponse(
+                    status=403, body="admin endpoints require X-Warp-Admin-Token"
+                )
+            return self.admin_handler(request)
+        refused = self._enter()
+        if refused is not None:
+            if refused == "switch":
+                # Transient: the generation-switch window. Safe to retry
+                # almost immediately.
+                return HttpResponse(
+                    status=503,
+                    body="server briefly suspended for repair "
+                    "(generation switch window; retry shortly)",
+                    headers={"Retry-After": "1", "X-Warp-Suspended": "switch"},
+                )
+            # Wedged: the switch never completed within the drain bound.
+            # Load generators should back off; an operator must look.
+            return HttpResponse(
+                status=503,
+                body="repair generation switch did not complete within "
+                f"{self.switch_wait_seconds}s — a repair script may be "
+                "wedged; operator attention required",
+                headers={"Retry-After": "30", "X-Warp-Suspended": "wedged"},
+            )
         try:
             return self._handle(request, bypass_gate)
         finally:

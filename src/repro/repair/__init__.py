@@ -6,6 +6,17 @@ re-execution manager; conflicts that cannot be auto-resolved are queued in
 ``ConflictQueue`` for the affected user.
 """
 
+from repro.repair.api import (
+    CancelClientSpec,
+    CancelVisitSpec,
+    DbFixSpec,
+    PatchSpec,
+    RepairBatch,
+    RepairPlan,
+    RepairSpec,
+    compute_plan,
+    parse_spec,
+)
 from repro.repair.clusters import (
     ClusteringFutile,
     RepairGroup,
@@ -13,6 +24,7 @@ from repro.repair.clusters import (
 )
 from repro.repair.conflicts import Conflict, ConflictQueue
 from repro.repair.controller import RepairController, RepairResult
+from repro.repair.jobs import RepairJob, RepairJobManager
 from repro.repair.stats import RepairStats
 
 __all__ = [
@@ -24,4 +36,16 @@ __all__ = [
     "ClusteringFutile",
     "Conflict",
     "ConflictQueue",
+    # Repair API v2 (see API.md)
+    "RepairSpec",
+    "PatchSpec",
+    "CancelVisitSpec",
+    "CancelClientSpec",
+    "DbFixSpec",
+    "RepairBatch",
+    "RepairPlan",
+    "parse_spec",
+    "compute_plan",
+    "RepairJob",
+    "RepairJobManager",
 ]

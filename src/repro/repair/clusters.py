@@ -153,6 +153,9 @@ class RepairGroup:
 
         # -- accounting -----------------------------------------------------
         self.counters: Dict[str, int] = {name: 0 for name in GROUP_COUNTER_FIELDS}
+        #: Progress bookkeeping: a ``group_done`` event fires at most once
+        #: per group (re-sweeps after escaped propagation must not double-count).
+        self.done_emitted = False
         self.escaped_keys = 0
         self.seconds = 0.0
         self.index_build_seconds = 0.0
@@ -287,13 +290,18 @@ def compute_repair_groups(
     full_table_seeds: Iterable[str] = (),
     damage_ts: int = 0,
     futility_limit: Optional[int] = None,
+    key_seed_groups: Iterable[Tuple[Iterable[PartitionKey], Iterable[str], int]] = (),
 ) -> List[RepairGroup]:
     """Partition the damage set into taint-connected repair groups.
 
     ``run_seeds`` are initially damaged run ids (a patched file's runs, a
     canceled visit's or client's runs); ``key_seeds``/``full_table_seeds``
     are the partitions a retroactive database fix writes directly.  All
-    key/table seeds belong to one statement and therefore one group.
+    key/table seeds belong to one statement and therefore one group —
+    batched repairs with several independent fix statements pass
+    ``key_seed_groups`` instead, one ``(keys, full_tables, damage_ts)``
+    entry per statement, so two fixes touching unrelated partitions keep
+    their own components (they still merge if taint connects them).
 
     Deterministic: groups come back ordered by earliest damage timestamp
     (ties by smallest seed run id), with members discovered by BFS whose
@@ -447,19 +455,26 @@ def compute_repair_groups(
         parent.append(len(builds) - 1)
         grow(len(builds) - 1, deque([run_id]))
 
+    statement_seeds = [
+        (list(keys), list(tables), ts) for keys, tables, ts in key_seed_groups
+    ]
     key_seeds = list(key_seeds)
     full_table_seeds = list(full_table_seeds)
     if key_seeds or full_table_seeds:
+        statement_seeds.append((key_seeds, full_table_seeds, damage_ts))
+    for stmt_keys, stmt_tables, stmt_ts in statement_seeds:
+        if not stmt_keys and not stmt_tables:
+            continue
         build = _Build()
-        build.seed_keys = list(key_seeds)
-        build.first_ts = damage_ts
+        build.seed_keys = list(stmt_keys)
+        build.first_ts = stmt_ts
         builds.append(build)
         root = len(builds) - 1
         parent.append(root)
         frontier: deque = deque()
-        for key in key_seeds:
+        for key in stmt_keys:
             expand_write_key(build, key, frontier)
-        for table in full_table_seeds:
+        for table in stmt_tables:
             expand_full_write(build, table, frontier)
         grow(root, frontier)
 

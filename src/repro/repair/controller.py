@@ -53,7 +53,7 @@ from repro.appserver.runtime import AppRuntime
 from repro.appserver.scripts import ScriptStore
 from repro.browser.browser import Network
 from repro.core.clock import LogicalClock
-from repro.core.errors import RepairError
+from repro.core.errors import RepairCanceled, RepairError
 from repro.core.ids import IdAllocator
 from repro.db.sql import ast
 from repro.db.sql.parser import parse
@@ -79,6 +79,15 @@ class RepairResult:
     aborted: bool
     stats: RepairStats
     conflicts: List[Conflict]
+
+    def to_dict(self) -> dict:
+        """JSON image for the admin API and jobs journal."""
+        return {
+            "ok": self.ok,
+            "aborted": self.aborted,
+            "stats": self.stats.to_dict(),
+            "conflicts": [conflict.to_dict() for conflict in self.conflicts],
+        }
 
 
 class RepairQueryRunner:
@@ -202,37 +211,40 @@ class RepairController:
         #: Optional hook invoked after each worklist item (used by the
         #: concurrent-repair benchmark to interleave live traffic).
         self.step_hook: Optional[Callable[[], None]] = None
+        #: Progress listeners (repro.repair.jobs): called with
+        #: ``(event, payload)`` for phase_started / groups_planned /
+        #: group_done / conflict_found / finalized / aborted.  A raising
+        #: listener is ignored — observability must not break a repair.
+        self.listeners: List[Callable[[str, Dict[str, object]], None]] = []
+        #: Cooperative cancel flag (RepairJob.cancel): checked between
+        #: worklist items; when set the controller raises RepairCanceled,
+        #: which unwinds through the abort path.
+        self.cancel_requested = False
+
+    def _emit(self, event: str, **payload) -> None:
+        for listener in self.listeners:
+            try:
+                listener(event, payload)
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------ entry points
+
+    # The four v1 entry points are batches of one: staging, planning and
+    # processing live in repair_batch only, so "batch ≡ sequential" is
+    # structural — there is a single staging implementation to diverge
+    # from.  (The spec imports are deferred: repro.repair.api imports
+    # from this module.)
 
     def retroactive_patch(
         self, file: str, exports: Dict, apply_ts: int = 0
     ) -> RepairResult:
         """Apply a security patch to the past (paper §3.2)."""
-        started = _time.perf_counter()
-        graph_before = self.graph.graph_load_seconds
-        self._begin()
-        try:
-            self.stats.timer.push("init")
-            new_version = self.scripts.patch(file, exports)
-            self.graph.add_patch(
-                PatchRecord(file=file, new_version=new_version, apply_ts=apply_ts)
-            )
-            damaged = [
-                run.run_id for run in self.graph.runs_loading_file(file, apply_ts)
-            ]
-            groups = self._plan_groups(run_seeds=damaged)
-            for group in groups:
-                self._g = group
-                for run_id in group.seed_runs:
-                    self._escalate(run_id)
-            self.stats.timer.pop()
-            self._process()
-            self._finalize()
-        except Exception:
-            self._unwind_failed_repair()
-            raise
-        return self._result(started, graph_before, aborted=False)
+        from repro.repair.api import PatchSpec
+
+        return self.repair_batch(
+            [PatchSpec(file=file, exports=exports, apply_ts=apply_ts)]
+        )
 
     def cancel_visit(
         self,
@@ -247,89 +259,26 @@ class RepairController:
         *other* users, unless it resolves a conflict already reported to
         this user (``allow_conflicts``).
         """
-        started = _time.perf_counter()
-        graph_before = self.graph.graph_load_seconds
-        self._begin()
-        try:
-            self.stats.timer.push("init")
-            targets = self._visit_and_descendants(client_id, visit_id)
-            target_runs = [
-                (target_id, self.graph.runs_of_visit(client_id, target_id))
-                for target_id in targets
+        from repro.repair.api import CancelVisitSpec
+
+        return self.repair_batch(
+            [
+                CancelVisitSpec(
+                    client_id=client_id,
+                    visit_id=visit_id,
+                    initiated_by_admin=initiated_by_admin,
+                    allow_conflicts=allow_conflicts,
+                )
             ]
-            damaged = [run.run_id for _, runs in target_runs for run in runs]
-            # One client's visits always form a single taint component.
-            groups = self._plan_groups(run_seeds=damaged)
-            if self.server.gate is not None:
-                # The undone visits' client is being rewritten: queue its
-                # own traffic until the switch.
-                self.server.gate.note_client(client_id)
-            self._g = groups[0]
-            for target_id, runs in target_runs:
-                for run in runs:
-                    self.cancel_run(run)
-                self._g.visit_state[(client_id, target_id)] = "canceled"
-            self.stats.timer.pop()
-            self._process()
-
-            if not initiated_by_admin and not allow_conflicts:
-                created = self._repair_conflicts()
-                others = {c.client_id for c in created if c.client_id != client_id}
-                if others:
-                    self._abort()
-                    return self._result(
-                        started, graph_before, aborted=True, conflicts=created
-                    )
-            self._finalize()
-        except Exception:
-            self._unwind_failed_repair()
-            raise
-        return self._result(started, graph_before, aborted=False)
-
-    def _visit_and_descendants(self, client_id: str, visit_id: int) -> List[int]:
-        """Canceling a page visit undoes all of its HTTP requests — which
-        includes the navigations (form posts, link follows) its events
-        caused, i.e. its descendant visits.  The parent→children index
-        makes this O(descendants), not O(client history) per level."""
-        out = [visit_id]
-        seen = {visit_id}
-        frontier = [visit_id]
-        while frontier:
-            next_frontier = []
-            for parent_id in frontier:
-                for record in self.graph.child_visits(client_id, parent_id):
-                    if record.visit_id not in seen:
-                        seen.add(record.visit_id)
-                        out.append(record.visit_id)
-                        next_frontier.append(record.visit_id)
-            frontier = next_frontier
-        return out
+        )
 
     def cancel_client(self, client_id: str) -> RepairResult:
         """Undo *every* action of one client (paper §2: when credentials
         were stolen, administrators can revert just the attacker's actions
         if they can identify the attacker's browser/IP)."""
-        started = _time.perf_counter()
-        graph_before = self.graph.graph_load_seconds
-        self._begin()
-        try:
-            self.stats.timer.push("init")
-            client_runs = self.graph.client_runs(client_id)
-            groups = self._plan_groups(run_seeds=[run.run_id for run in client_runs])
-            if self.server.gate is not None:
-                self.server.gate.note_client(client_id)
-            self._g = groups[0]
-            for run in client_runs:
-                self.cancel_run(run)
-            for visit in self.graph.client_visits(client_id):
-                self._g.visit_state[(client_id, visit.visit_id)] = "canceled"
-            self.stats.timer.pop()
-            self._process()
-            self._finalize()
-        except Exception:
-            self._unwind_failed_repair()
-            raise
-        return self._result(started, graph_before, aborted=False)
+        from repro.repair.api import CancelClientSpec
+
+        return self.repair_batch([CancelClientSpec(client_id=client_id)])
 
     def retroactive_db_fix(
         self, sql: str, params: Tuple[object, ...], ts: int
@@ -337,50 +286,221 @@ class RepairController:
         """Retroactively fix past database state (paper §2: e.g. change the
         password of a user whose credentials leaked, *as of* the leak time,
         at the risk of undoing legitimate changes made with it)."""
+        from repro.repair.api import DbFixSpec
+
+        return self.repair_batch([DbFixSpec(sql=sql, params=tuple(params), ts=ts)])
+
+    def repair_batch(self, specs) -> RepairResult:
+        """Repair N intrusions in **one** generation pass (Repair API v2).
+
+        The member specs' damage sets are unioned before cluster
+        discovery, so one planning pass computes the taint components of
+        the whole batch and every affected action re-executes *at most
+        once* — N sequential repairs would pay N generation switches, N
+        graph merges, and re-execute any action reached by several
+        attacks once per attack.
+
+        Per-spec staging mirrors the dedicated entry points: patches are
+        applied and their damaged runs escalated, canceled visits/clients
+        have their runs undone, and database fixes execute with
+        propagation deferred (their footprint seeds clustering, one key
+        group per statement).  A run both canceled and patched stays
+        canceled.  If any cancel spec is a non-admin undo, the §5.5 guard
+        applies: conflicts created for *other* clients abort the batch.
+
+        ``PatchSpec``s must arrive with ``exports`` materialized — the
+        job manager resolves ``patch_name`` through its catalog first.
+        """
+        from repro.repair.api import (
+            CancelClientSpec,
+            CancelVisitSpec,
+            DbFixSpec,
+            PatchSpec,
+            RepairBatch,
+        )
+
+        flat = []
+        for spec in specs:
+            if isinstance(spec, RepairBatch):
+                flat.extend(spec.specs)
+            else:
+                flat.append(spec)
+        if not flat:
+            raise RepairError("repair batch needs at least one spec")
         started = _time.perf_counter()
         graph_before = self.graph.graph_load_seconds
         self._begin()
+        #: Patches installed by this batch's staging, as (file, version,
+        #: apply_ts).  Their durable PatchRecords are journaled only on
+        #: commit, and an abort/cancel pops the staged versions — an
+        #: aborted batch must leave code *and* records untouched, not
+        #: just the repair generation.
+        staged_patches: List[Tuple[str, int, int]] = []
         try:
-            self._retroactive_db_fix(sql, params, ts)
+            self.stats.timer.push("init")
+            run_seeds: List[int] = []
+            escalate_runs: List[int] = []
+            cancel_run_ids: List[int] = []
+            cancel_visit_keys: List[Tuple[str, int]] = []
+            gate_clients: List[str] = []
+            key_seed_groups: List[Tuple[List, List, int]] = []
+            deferred_all: List[Tuple[str, Set, int, bool]] = []
+            undo_guards: Set[str] = set()
+            for spec in flat:
+                if isinstance(spec, PatchSpec):
+                    if spec.exports is None:
+                        raise RepairError(
+                            f"PatchSpec for {spec.file!r} has no exports — "
+                            "resolve patch_name through the job manager's "
+                            "registered patch catalog before execution"
+                        )
+                    new_version = self.scripts.patch(spec.file, spec.exports)
+                    staged_patches.append((spec.file, new_version, spec.apply_ts))
+                    damaged = [
+                        run.run_id
+                        for run in self.graph.runs_loading_file(
+                            spec.file, spec.apply_ts
+                        )
+                    ]
+                    run_seeds.extend(damaged)
+                    escalate_runs.extend(damaged)
+                elif isinstance(spec, CancelVisitSpec):
+                    targets = self.graph.visit_and_descendants(
+                        spec.client_id, spec.visit_id
+                    )
+                    for target_id in targets:
+                        for run in self.graph.runs_of_visit(
+                            spec.client_id, target_id
+                        ):
+                            run_seeds.append(run.run_id)
+                            cancel_run_ids.append(run.run_id)
+                        cancel_visit_keys.append((spec.client_id, target_id))
+                    gate_clients.append(spec.client_id)
+                    if not spec.initiated_by_admin and not spec.allow_conflicts:
+                        undo_guards.add(spec.client_id)
+                elif isinstance(spec, CancelClientSpec):
+                    for run in self.graph.client_runs(spec.client_id):
+                        run_seeds.append(run.run_id)
+                        cancel_run_ids.append(run.run_id)
+                    for visit in self.graph.client_visits(spec.client_id):
+                        cancel_visit_keys.append((spec.client_id, visit.visit_id))
+                    gate_clients.append(spec.client_id)
+                elif isinstance(spec, DbFixSpec):
+                    # Footprint known only after execution: run with
+                    # propagation deferred, seed clustering from the
+                    # collected keys, replay the notes post-planning.
+                    deferred: List[Tuple[str, Set, int, bool]] = []
+                    self._pending_damage = deferred
+                    try:
+                        self.reexec_statement(
+                            spec.sql, tuple(spec.params), spec.ts, original=None
+                        )
+                    finally:
+                        self._pending_damage = None
+                    stmt_keys: Set[Tuple[str, str, object]] = set()
+                    stmt_tables: Set[str] = set()
+                    for table, keys, _mod_ts, whole_table in deferred:
+                        if whole_table:
+                            stmt_tables.add(table)
+                        for key in keys:
+                            full = key if len(key) == 3 else (table,) + tuple(key)
+                            stmt_keys.add(full)
+                    key_seed_groups.append(
+                        (
+                            sorted(stmt_keys, key=repr),
+                            sorted(stmt_tables),
+                            spec.ts,
+                        )
+                    )
+                    deferred_all.extend(deferred)
+                else:
+                    raise RepairError(
+                        f"cannot execute repair spec of kind "
+                        f"{getattr(spec, 'kind', '?')!r}"
+                    )
+            groups = self._plan_groups(
+                run_seeds=run_seeds, key_seed_groups=key_seed_groups
+            )
+            if self.server.gate is not None:
+                for client_id in gate_clients:
+                    self.server.gate.note_client(client_id)
+            # Cancels before escalations: a run that is both canceled and
+            # patch-damaged stays canceled (matching sequential repairs,
+            # where the cancel's undo wins regardless of order because a
+            # canceled run is never re-executed).
+            seen_cancel: Set[int] = set()
+            for run_id in cancel_run_ids:
+                if run_id in seen_cancel:
+                    continue
+                seen_cancel.add(run_id)
+                run = self.graph.runs.get(run_id)
+                if run is None:
+                    continue
+                self._g = self._run_home.get(run_id, groups[0])
+                self.cancel_run(run)
+            for client_id, visit_id in cancel_visit_keys:
+                home = self._client_home.get(client_id, groups[0])
+                home.visit_state[(client_id, visit_id)] = "canceled"
+            for run_id in escalate_runs:
+                self._g = self._run_home.get(run_id, groups[0])
+                self._escalate(run_id)
+            for table, keys, mod_ts, whole_table in deferred_all:
+                self._g = self._group_covering(groups, table, keys, whole_table)
+                self._note_modification(table, keys, mod_ts, whole_table)
+            self._g = groups[0]
+            self.stats.timer.pop()
+            self._process()
+            if undo_guards:
+                created = self._repair_conflicts()
+                others = {
+                    c.client_id for c in created if c.client_id not in undo_guards
+                }
+                if others:
+                    self._revert_staged_patches(staged_patches)
+                    self._abort()
+                    return self._result(
+                        started, graph_before, aborted=True, conflicts=created
+                    )
+            # Commit point: the retroactive patches really happened —
+            # journal their durable records just before the switch.
+            for file, new_version, apply_ts in staged_patches:
+                self.graph.add_patch(
+                    PatchRecord(
+                        file=file, new_version=new_version, apply_ts=apply_ts
+                    )
+                )
+            self._finalize()
         except Exception:
+            # Pre-switch failures (raising scripts, cancel) roll the whole
+            # batch back, staged code versions included; a post-switch
+            # failure is already committed and keeps them.
+            pre_switch = self.ttdb.repair_gen is not None
             self._unwind_failed_repair()
+            if pre_switch:
+                self._revert_staged_patches(staged_patches)
             raise
         return self._result(started, graph_before, aborted=False)
 
-    def _retroactive_db_fix(self, sql: str, params: Tuple[object, ...], ts: int) -> None:
-        self.stats.timer.push("init")
-        if self.cluster_mode == "off":
-            self.reexec_statement(sql, params, ts, original=None)
-        else:
-            # The fix's footprint (its partitions) is known only after it
-            # executes: run it with propagation deferred, cluster from the
-            # collected damage keys, then replay the deferred modification
-            # notes into the (single) damaged group.
-            deferred: List[Tuple[str, Set, int, bool]] = []
-            self._pending_damage = deferred
-            try:
-                self.reexec_statement(sql, params, ts, original=None)
-            finally:
-                self._pending_damage = None
-            key_seeds: Set[Tuple[str, str, object]] = set()
-            full_tables: Set[str] = set()
-            for table, keys, _mod_ts, whole_table in deferred:
-                if whole_table:
-                    full_tables.add(table)
-                for key in keys:
-                    full = key if len(key) == 3 else (table,) + tuple(key)
-                    key_seeds.add(full)
-            groups = self._plan_groups(
-                key_seeds=sorted(key_seeds, key=repr),
-                full_table_seeds=sorted(full_tables),
-                damage_ts=ts,
-            )
-            self._g = groups[0]
-            for table, keys, mod_ts, whole_table in deferred:
-                self._note_modification(table, keys, mod_ts, whole_table)
-        self.stats.timer.pop()
-        self._process()
-        self._finalize()
+    def _revert_staged_patches(
+        self, staged_patches: List[Tuple[str, int, int]]
+    ) -> None:
+        for file, new_version, _apply_ts in reversed(staged_patches):
+            self.scripts.revert_patch(file, new_version)
+
+    def _group_covering(self, groups, table, keys, whole_table):
+        """Home group for a deferred db-fix modification: the component
+        whose coverage holds the statement's keys (each statement seeded
+        exactly one build, so first match is the only match)."""
+        for group in groups:
+            if not group.scoped:
+                continue
+            if whole_table and table in group.covered_tables:
+                return group
+            for key in keys:
+                full = key if len(key) == 3 else (table,) + tuple(key)
+                if group.covers(full):
+                    return group
+        return groups[0]
 
     def _result(
         self,
@@ -443,6 +563,7 @@ class RepairController:
     def _begin(self) -> None:
         if self._active:
             raise RepairError("repair already in progress")
+        self._emit("phase_started", phase="init")
         self.ttdb.begin_repair()
         self.server.repair_active = True
         self.server.pending_during_repair = []
@@ -468,18 +589,21 @@ class RepairController:
         key_seeds=(),
         full_table_seeds=(),
         damage_ts: int = 0,
+        key_seed_groups=(),
     ) -> List[RepairGroup]:
         """Split the damage set into repair groups (honoring cluster_mode).
 
         Always returns at least one group; with clustering off (or an empty
         damage set) that is the controller's global-scope worklist."""
         run_seeds = list(run_seeds)
+        key_seed_groups = list(key_seed_groups)
         global_group = self._groups[0]
         if self.cluster_mode == "off" or not (
-            run_seeds or key_seeds or full_table_seeds
+            run_seeds or key_seeds or full_table_seeds or key_seed_groups
         ):
             global_group.seed_runs.extend(run_seeds)
             self._sync_gate_scope([global_group])
+            self._emit("groups_planned", n_groups=0, futile=False)
             return [global_group]
         started = _time.perf_counter()
         try:
@@ -489,6 +613,7 @@ class RepairController:
                 key_seeds=key_seeds,
                 full_table_seeds=full_table_seeds,
                 damage_ts=damage_ts,
+                key_seed_groups=key_seed_groups,
             )
         except ClusteringFutile:
             groups = []
@@ -498,6 +623,7 @@ class RepairController:
             # workload): keep the monolithic worklist and its global index.
             global_group.seed_runs.extend(run_seeds)
             self._sync_gate_scope([global_group])
+            self._emit("groups_planned", n_groups=0, futile=True)
             return [global_group]
         self._groups = groups
         self._g = groups[0]
@@ -508,6 +634,7 @@ class RepairController:
             for client_id in group.clients:
                 self._client_home[client_id] = group
         self._sync_gate_scope(groups)
+        self._emit("groups_planned", n_groups=len(groups), futile=False)
         return groups
 
     def _sync_gate_scope(self, groups) -> None:
@@ -518,18 +645,36 @@ class RepairController:
             self.server.gate.set_scope(groups)
 
     def _process(self) -> None:
+        self._emit("phase_started", phase="process")
         scoped = [group for group in self._groups if group.scoped]
         if self.cluster_mode == "parallel" and len(scoped) > 1:
             self._process_parallel()
+        else:
+            ordered = sorted(
+                self._groups, key=lambda g: (g.first_damage_ts, g.group_id)
+            )
+            # Escaped propagation can feed a group that already drained (its
+            # damage reached a query of an earlier group): keep sweeping until
+            # every heap settles.  Per-group qid dedup bounds the loop.
+            while any(group.heap for group in ordered):
+                for group in ordered:
+                    if group.heap:
+                        self._process_group(group)
+        # Progress contract: exactly one group_done per scoped group per
+        # repair — including groups whose heap was empty from the start.
+        for group in scoped:
+            self._emit_group_done(group)
+
+    def _emit_group_done(self, group: RepairGroup) -> None:
+        if not group.scoped or group.done_emitted or group.heap:
             return
-        ordered = sorted(self._groups, key=lambda g: (g.first_damage_ts, g.group_id))
-        # Escaped propagation can feed a group that already drained (its
-        # damage reached a query of an earlier group): keep sweeping until
-        # every heap settles.  Per-group qid dedup bounds the loop.
-        while any(group.heap for group in ordered):
-            for group in ordered:
-                if group.heap:
-                    self._process_group(group)
+        group.done_emitted = True
+        self._emit(
+            "group_done",
+            group=group.group_id,
+            counters=dict(group.counters),
+            seconds=round(group.seconds, 6),
+        )
 
     def _process_group(self, group: RepairGroup) -> None:
         started = _time.perf_counter()
@@ -544,6 +689,7 @@ class RepairController:
         finally:
             self._g = previous
             group.seconds += _time.perf_counter() - started
+        self._emit_group_done(group)
 
     def _process_parallel(self) -> None:
         """One worker per group; item execution serialized by a controller
@@ -589,6 +735,8 @@ class RepairController:
                 raise errors[0]
 
     def _dispatch(self, kind: str, payload) -> None:
+        if self.cancel_requested:
+            raise RepairCanceled("repair job canceled by administrator")
         if kind == "query":
             self._process_query(payload)
         elif kind == "run":
@@ -648,6 +796,7 @@ class RepairController:
         return any(client_id in other.conflicted_clients for other in self._groups)
 
     def _finalize(self) -> None:
+        self._emit("phase_started", phase="finalize")
         # Briefly suspend: new arrivals block (or 503 without a gate) and
         # in-flight requests drain, so the pending re-application below
         # sees a stable run list and the switch is atomic per-request.
@@ -689,6 +838,7 @@ class RepairController:
         # Queued requests re-apply against the repaired, now-live
         # generation — each exactly once, in arrival order.
         self._drain_gate_queue()
+        self._emit("finalized", generation=self.ttdb.current_gen)
 
     def _unwind_failed_repair(self) -> None:
         """A raising script propagates out of the entry point: abort the
@@ -718,6 +868,7 @@ class RepairController:
         # Requests queued behind the aborted repair still deserve service —
         # the live generation they now run against was never touched.
         self._drain_gate_queue()
+        self._emit("aborted")
 
     def _drain_gate_queue(self) -> None:
         """Serve every request the gate queued, in arrival order, exactly
@@ -1171,6 +1322,12 @@ class RepairController:
         )
         self._g.visit_state[(visit.client_id, visit.visit_id)] = "conflict"
         self._g.conflicted_clients.add(visit.client_id)
+        self._emit(
+            "conflict_found",
+            client_id=visit.client_id,
+            visit_id=visit.visit_id,
+            reason=reason,
+        )
 
     def report_conflict_for_run(self, run: AppRunRecord, reason: str) -> None:
         self.conflicts.add(
@@ -1184,3 +1341,9 @@ class RepairController:
         )
         if run.client_id is not None:
             self._g.conflicted_clients.add(run.client_id)
+        self._emit(
+            "conflict_found",
+            client_id=run.client_id or "?",
+            visit_id=run.visit_id or 0,
+            reason=reason,
+        )

@@ -81,6 +81,27 @@ class RepairStats:
         known["total"] = self.total_seconds
         return known
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON image for the admin API and jobs journal."""
+        return {
+            "visits_reexecuted": self.visits_reexecuted,
+            "runs_reexecuted": self.runs_reexecuted,
+            "runs_pruned": self.runs_pruned,
+            "runs_canceled": self.runs_canceled,
+            "queries_reexecuted": self.queries_reexecuted,
+            "nondet_misses": self.nondet_misses,
+            "conflicts": self.conflicts,
+            "total_visits": self.total_visits,
+            "total_runs": self.total_runs,
+            "total_queries": self.total_queries,
+            "n_groups": self.n_groups,
+            "clusters_seconds": round(self.clusters_seconds, 6),
+            "escaped_keys": self.escaped_keys,
+            "groups": [dict(row) for row in self.groups],
+            "gate": dict(self.gate),
+            "breakdown": {k: round(v, 6) for k, v in self.breakdown().items()},
+        }
+
     def row(self) -> Dict[str, object]:
         """One bench-report row."""
         out: Dict[str, object] = {

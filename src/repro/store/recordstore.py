@@ -223,12 +223,27 @@ class RecordStore:
         self.pending_gate_queue: Dict[int, dict] = {}
         self._applied_gate_tickets: Set[int] = set()
 
+        #: Repair jobs that started but never recorded an end (job_id ->
+        #: journaled entry).  Normally empty — every terminal status logs
+        #: an end — so a survivor after reload means the process died
+        #: mid-repair and the administrator should re-submit the spec
+        #: (the aborted generation itself never becomes visible).
+        self.pending_repair_jobs: Dict[str, dict] = {}
+        self._ended_repair_jobs: Set[str] = set()
+
         #: Serializes mutations (and the lazy partition-index build) so
         #: concurrent request threads can append runs while a repair reads
         #: the indexes.  Reentrant: replay/gc call other mutators.
         self._lock = threading.RLock()
 
         self.wal = wal
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The store's mutation lock, for read paths that must iterate
+        runs/indexes consistently while request threads append (e.g. the
+        repair-plan preview, which runs ungated during live traffic)."""
+        return self._lock
 
     # ------------------------------------------------------------------ writes
 
@@ -347,6 +362,46 @@ class RecordStore:
             self.pending_gate_queue.pop(ticket, None)
             if self.wal is not None:
                 self.wal.append("gate_apply", {"ticket": ticket})
+
+    # ------------------------------------------------------------------ repair jobs
+
+    def log_repair_job_start(self, job_id: str, spec: dict, ts: int) -> None:
+        """Journal that a repair job began executing; it stays pending
+        until :meth:`log_repair_job_end` so an interrupted job is visible
+        after recovery."""
+        with self._lock:
+            entry = {"job_id": job_id, "spec": spec, "ts": ts}
+            self.pending_repair_jobs[job_id] = entry
+            if self.wal is not None:
+                self.wal.append("job_start", entry)
+
+    def log_repair_job_end(self, job_id: str, status: str) -> None:
+        """Journal a job's terminal status (exactly once)."""
+        with self._lock:
+            if job_id in self._ended_repair_jobs:
+                return
+            self._ended_repair_jobs.add(job_id)
+            self.pending_repair_jobs.pop(job_id, None)
+            if self.wal is not None:
+                self.wal.append("job_end", {"job_id": job_id, "status": status})
+
+    def next_repair_job_seq(self) -> int:
+        """First job sequence number not used by a pending or ended job
+        (ids must stay unique across crash recovery)."""
+
+        def seq_of(job_id: str) -> int:
+            _, _, tail = job_id.rpartition("-")
+            return int(tail) if tail.isdigit() else 0
+
+        with self._lock:
+            highest = max(
+                (seq_of(job_id) for job_id in self.pending_repair_jobs), default=0
+            )
+            highest = max(
+                highest,
+                max((seq_of(job_id) for job_id in self._ended_repair_jobs), default=0),
+            )
+            return highest + 1
 
     def replace_run(self, run_id: int, record: AppRunRecord) -> Optional[AppRunRecord]:
         """Swap the stored record for ``run_id`` with ``record`` in place.
@@ -648,6 +703,11 @@ class RecordStore:
                     self.pending_gate_queue[ticket]
                     for ticket in sorted(self.pending_gate_queue)
                 ]
+            if self.pending_repair_jobs:
+                snapshot["repair_jobs"] = [
+                    self.pending_repair_jobs[job_id]
+                    for job_id in sorted(self.pending_repair_jobs)
+                ]
             return snapshot
 
     @classmethod
@@ -661,6 +721,8 @@ class RecordStore:
             store.add_patch(PatchRecord.from_dict(item))
         for item in data.get("gate_queue", ()):
             store.pending_gate_queue[item["ticket"]] = item
+        for item in data.get("repair_jobs", ()):
+            store.pending_repair_jobs[item["job_id"]] = item
         store.wal = wal
         return store
 
@@ -805,3 +867,11 @@ class RecordStore:
         elif kind == "gate_apply":
             self._applied_gate_tickets.add(data["ticket"])
             self.pending_gate_queue.pop(data["ticket"], None)
+        elif kind == "job_start":
+            # Idempotent: re-replay must not resurrect an ended job.
+            job_id = data["job_id"]
+            if job_id not in self._ended_repair_jobs:
+                self.pending_repair_jobs.setdefault(job_id, data)
+        elif kind == "job_end":
+            self._ended_repair_jobs.add(data["job_id"])
+            self.pending_repair_jobs.pop(data["job_id"], None)

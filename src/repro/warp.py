@@ -2,8 +2,8 @@
 
 Bundles the clock, time-travel database, action history graph, script
 store, application runtime, logged HTTP server, simulated network, and the
-conflict queue; exposes the two repair entry points (retroactive patching
-and visit cancellation) plus client-browser construction.
+conflict queue; exposes the repair surface plus client-browser
+construction.
 
 This is the public API a downstream user programs against::
 
@@ -13,7 +13,18 @@ This is the public API a downstream user programs against::
     alice = warp.client("alice-laptop")
     alice.open("http://wiki.test/index.php?title=Main_Page")
     ...
-    result = warp.retroactive_patch("login.php", patched_exports)
+    # Repair API v2 (see API.md): declarative specs, async jobs,
+    # dry-run previews, batched multi-intrusion repair.
+    plan = warp.repair.preview(PatchSpec("login.php", exports=patched))
+    job = warp.repair.submit(PatchSpec("login.php", exports=patched))
+    result = job.result()
+
+The four v1 entry points (``retroactive_patch``, ``cancel_visit``,
+``cancel_client``, ``retroactive_db_fix``) remain as deprecated blocking
+wrappers over ``warp.repair.submit(spec).result()``.  The full v2
+surface — spec JSON, job lifecycle, progress events, the
+``/warp/admin/repair`` HTTP endpoints, and the deprecation policy — is
+documented in API.md.
 """
 
 from __future__ import annotations
@@ -36,8 +47,15 @@ from repro.repair.conflicts import Conflict, ConflictQueue
 from repro.core.errors import RepairError
 from repro.core.serialize import decode_tree, encode_tree
 from repro.http.message import HttpRequest, HttpResponse
+from repro.repair.api import (
+    CancelClientSpec,
+    CancelVisitSpec,
+    DbFixSpec,
+    PatchSpec,
+)
 from repro.repair.controller import RepairController, RepairResult
 from repro.repair.gate import RepairGate
+from repro.repair.jobs import RepairJobManager
 from repro.repair.replay import ReplayConfig
 from repro.store.recordstore import RecordStore
 from repro.store.wal import RecordWal, open_wal
@@ -57,6 +75,7 @@ class WarpSystem:
         cluster_mode: str = "sequential",
         online_gate: bool = False,
         gate_policy: str = "partition",
+        admin_token: Optional[str] = None,
     ) -> None:
         self.origin = origin
         self.enabled = enabled
@@ -96,6 +115,12 @@ class WarpSystem:
         self.server.conflict_lookup = self.conflicts.pending_count
         self.replay_config = replay_config if replay_config is not None else ReplayConfig()
         self.last_repair: Optional[RepairResult] = None
+        #: Repair API v2 (see API.md): ``warp.repair.submit(spec)`` /
+        #: ``preview(spec)`` / ``register_patch(...)``; also the backing
+        #: for the ``/warp/admin/repair`` HTTP endpoints.
+        self.repair = RepairJobManager(self)
+        self.server.admin_handler = self.repair.admin.handle
+        self.server.admin_token = admin_token
         #: Script versions the persisted deployment had (set by ``load``);
         #: repair refuses to run until re-registered code catches up.
         self._expected_script_versions: Dict[str, int] = {}
@@ -166,10 +191,16 @@ class WarpSystem:
     def retroactive_patch(
         self, file: str, exports: Dict, apply_ts: int = 0
     ) -> RepairResult:
-        """Retroactively apply a security patch (paper §3)."""
-        controller = self._controller()
-        self.last_repair = controller.retroactive_patch(file, exports, apply_ts)
-        return self.last_repair
+        """Retroactively apply a security patch (paper §3).
+
+        .. deprecated:: Repair API v2 — equivalent blocking wrapper over
+           ``warp.repair.submit(PatchSpec(file, exports=...)).result()``;
+           prefer the spec form, which adds previews, progress, and
+           batching (see API.md).
+        """
+        return self.repair.submit(
+            PatchSpec(file=file, exports=exports, apply_ts=apply_ts)
+        ).result()
 
     def cancel_visit(
         self,
@@ -178,27 +209,40 @@ class WarpSystem:
         initiated_by_admin: bool = True,
         allow_conflicts: bool = False,
     ) -> RepairResult:
-        """Undo a past page visit (paper §5.5)."""
-        controller = self._controller()
-        self.last_repair = controller.cancel_visit(
-            client_id, visit_id, initiated_by_admin, allow_conflicts
-        )
-        return self.last_repair
+        """Undo a past page visit (paper §5.5).
+
+        .. deprecated:: Repair API v2 — equivalent blocking wrapper over
+           ``warp.repair.submit(CancelVisitSpec(...)).result()``.
+        """
+        return self.repair.submit(
+            CancelVisitSpec(
+                client_id=client_id,
+                visit_id=visit_id,
+                initiated_by_admin=initiated_by_admin,
+                allow_conflicts=allow_conflicts,
+            )
+        ).result()
 
     def cancel_client(self, client_id: str) -> RepairResult:
-        """Undo every recorded action of one client (paper §2)."""
-        controller = self._controller()
-        self.last_repair = controller.cancel_client(client_id)
-        return self.last_repair
+        """Undo every recorded action of one client (paper §2).
+
+        .. deprecated:: Repair API v2 — equivalent blocking wrapper over
+           ``warp.repair.submit(CancelClientSpec(client_id)).result()``.
+        """
+        return self.repair.submit(CancelClientSpec(client_id=client_id)).result()
 
     def retroactive_db_fix(
         self, sql: str, params: tuple, ts: int
     ) -> RepairResult:
         """Fix past database state (e.g. retroactively change a leaked
-        password) and repair everything that depended on it (paper §2)."""
-        controller = self._controller()
-        self.last_repair = controller.retroactive_db_fix(sql, tuple(params), ts)
-        return self.last_repair
+        password) and repair everything that depended on it (paper §2).
+
+        .. deprecated:: Repair API v2 — equivalent blocking wrapper over
+           ``warp.repair.submit(DbFixSpec(sql, params, ts)).result()``.
+        """
+        return self.repair.submit(
+            DbFixSpec(sql=sql, params=tuple(params), ts=ts)
+        ).result()
 
     # -- durability ---------------------------------------------------------------
 
@@ -229,6 +273,21 @@ class WarpSystem:
             "script_versions": self._script_versions_for_save(),
             "conflicts": self.conflicts.state_list(),
             "cookie_invalidation": sorted(self.server.cookie_invalidation),
+            # Repair configuration must survive reload: a deployment that
+            # gated live traffic during repairs keeps doing so, and a
+            # token-protected admin surface must not silently reopen.
+            # (The snapshot already holds the full database — seeded user
+            # passwords included — so the token adds no new secrecy tier.)
+            "repair_config": {
+                "cluster_mode": self.cluster_mode,
+                "online_gate": self.server.gate is not None,
+                "gate_policy": (
+                    self.server.gate.policy
+                    if self.server.gate is not None
+                    else "partition"
+                ),
+                "admin_token": self.server.admin_token,
+            },
         }
         self.graph.store.commit_snapshot(path, state)
 
@@ -281,6 +340,13 @@ class WarpSystem:
         warp._expected_script_versions = dict(state.get("script_versions", {}))
         warp.conflicts.restore(state.get("conflicts", []))
         warp.server.cookie_invalidation.update(state.get("cookie_invalidation", ()))
+        repair_config = state.get("repair_config", {})
+        warp.cluster_mode = repair_config.get("cluster_mode", warp.cluster_mode)
+        if repair_config.get("online_gate"):
+            warp.enable_online_repair(
+                policy=repair_config.get("gate_policy", "partition")
+            )
+        warp.server.admin_token = repair_config.get("admin_token")
         return warp
 
     def _script_versions_for_save(self) -> Dict[str, int]:

@@ -435,6 +435,77 @@ class TestWarpSystemPersistence:
         again = WarpSystem.load(snapshot, wal_path=wal_path)
         assert again.recovered_queued_requests() == []
 
+    def test_snapshotless_crash_recovers_gate_queue_exactly_once(
+        self, tmp_path, monkeypatch
+    ):
+        """ISSUE 5 satellite: the *snapshotless* crash path combined with
+        the gate queue.  The process dies mid-repair before the first
+        ``save`` ever happened — recovery is ``load(None, wal_path=...)``
+        — and the journaled queued request must surface through
+        ``recovered_queued_requests`` and re-apply exactly once, across
+        repeated WAL replays."""
+        from repro.repair.controller import RepairController
+        from repro.workload.loadgen import LoadClient, make_load_clients
+
+        wal_path = str(tmp_path / "records.wal")
+        warp, wiki = build_workload(wal_path=wal_path)
+        attacker = LoadClient("attacker-lc", warp.server)
+        wiki.seed_user("attacker-lc", "pw-attacker-lc")
+        assert attacker.login("pw-attacker-lc").status == 200
+        assert attacker.send(
+            attacker.request(
+                "POST", "/edit.php", {"title": "News", "append": "\nDEFACED."}
+            )
+        ).status == 200
+
+        warp.enable_online_repair()
+        (bystander,) = make_load_clients(wiki, warp.server, ["bys"])
+        queued_tickets = []
+
+        def hook():
+            if not queued_tickets:
+                response = bystander.send(
+                    bystander.request(
+                        "POST",
+                        "/edit.php",
+                        {"title": "News", "append": "\nrecover-me."},
+                    )
+                )
+                assert response.status == 202
+                queued_tickets.append(int(response.headers["X-Warp-Queued"]))
+
+        # The crash: the queue drain never runs, and no snapshot exists.
+        monkeypatch.setattr(
+            RepairController, "_drain_gate_queue", lambda self: None
+        )
+        controller = warp._controller()
+        controller.step_hook = hook
+        assert controller.cancel_client(attacker.client_id).ok
+        assert queued_tickets
+        assert warp.graph.store.pending_gate_queue
+        monkeypatch.undo()
+
+        # Fresh process, WAL only: the action log is rebuilt but the
+        # database starts empty — the application is *reinstalled*.
+        recovered = WarpSystem.load(None, wal_path=wal_path)
+        wiki2 = WikiApp(recovered.ttdb, recovered.scripts, recovered.server)
+        wiki2.install()
+        entries = recovered.recovered_queued_requests()
+        assert [ticket for ticket, _ in entries] == queued_tickets
+        assert entries[0][1].params["append"] == "\nrecover-me."
+
+        responses = recovered.reapply_recovered_requests()
+        assert set(responses) == set(queued_tickets)
+        # Exactly once: the ticket is journaled applied and never re-pends.
+        assert recovered.graph.store.pending_gate_queue == {}
+        assert recovered.recovered_queued_requests() == []
+        assert recovered.reapply_recovered_requests() == {}
+
+        # Idempotent across another full WAL replay.
+        again = WarpSystem.load(None, wal_path=wal_path)
+        assert again.recovered_queued_requests() == []
+        assert again.graph.store.pending_gate_queue == {}
+
     def test_repair_refuses_until_code_is_reregistered(self, tmp_path):
         from repro.core.errors import RepairError
 
