@@ -69,6 +69,28 @@ class QueryRecord:
             "read_row_ids": list(self.read_row_ids),
         }
 
+    def to_wire(self) -> dict:
+        """``to_dict`` minus the Python-level tuple→list walks, for the
+        per-request WAL journal: ``json.dumps`` flattens tuples to JSON
+        arrays natively, so the serialized bytes (and ``from_dict`` round
+        trip) are identical — only frozensets still need converting."""
+        return {
+            "qid": self.qid,
+            "run_id": self.run_id,
+            "seq": self.seq,
+            "ts": self.ts,
+            "sql": self.sql,
+            "params": self.params,
+            "kind": self.kind,
+            "table": self.table,
+            "read_set": self.read_set.to_dict(),
+            "written_row_ids": self.written_row_ids,
+            "written_partitions": encode_key_set(self.written_partitions),
+            "full_table_write": self.full_table_write,
+            "snapshot": self.snapshot,
+            "read_row_ids": self.read_row_ids,
+        }
+
     @classmethod
     def from_dict(cls, data: dict) -> "QueryRecord":
         return cls(
@@ -148,6 +170,26 @@ class AppRunRecord:
             "canceled": self.canceled,
         }
 
+    def to_wire(self) -> dict:
+        """JSON-equivalent of ``to_dict`` without defensive copies or tuple
+        walks (see :meth:`QueryRecord.to_wire`); for write-once consumers
+        like the WAL journal that serialize the result immediately."""
+        return {
+            "run_id": self.run_id,
+            "ts_start": self.ts_start,
+            "ts_end": self.ts_end,
+            "script": self.script,
+            "loaded_files": self.loaded_files,
+            "request": self.request.to_dict(),
+            "response": self.response.to_dict(),
+            "queries": [query.to_wire() for query in self.queries],
+            "nondet": [record.to_dict() for record in self.nondet],
+            "client_id": self.client_id,
+            "visit_id": self.visit_id,
+            "request_id": self.request_id,
+            "canceled": self.canceled,
+        }
+
     @classmethod
     def from_dict(cls, data: dict) -> "AppRunRecord":
         return cls(
@@ -165,6 +207,61 @@ class AppRunRecord:
             request_id=data.get("request_id"),
             canceled=data.get("canceled", False),
         )
+
+
+def replay_clone(
+    base: AppRunRecord,
+    run_id: int,
+    ts_start: int,
+    qids: List[int],
+    ts_list: List[int],
+    request: HttpRequest,
+) -> AppRunRecord:
+    """The synthetic run recorded for a response-cache hit.
+
+    A cache hit must leave the graph exactly as an uncached execution
+    would have: same read sets, same result snapshots (the invalidation
+    rule guarantees the underlying partitions are untouched), fresh run
+    id / query ids / timestamps.  Payload fields (sql, params, read_set,
+    snapshot) are shared with the base record — they are immutable once
+    recorded — so a hit costs allocations proportional to the query
+    count, not the payload size.  The same constructor rebuilds the run
+    during WAL replay of a compact ``run_replay`` entry, which is why it
+    lives here and not in the cache.
+    """
+    queries = [
+        QueryRecord(
+            qid=qid,
+            run_id=run_id,
+            seq=query.seq,
+            ts=ts,
+            sql=query.sql,
+            params=query.params,
+            kind=query.kind,
+            table=query.table,
+            read_set=query.read_set,
+            written_row_ids=query.written_row_ids,
+            written_partitions=query.written_partitions,
+            full_table_write=query.full_table_write,
+            snapshot=query.snapshot,
+            read_row_ids=query.read_row_ids,
+        )
+        for query, qid, ts in zip(base.queries, qids, ts_list)
+    ]
+    return AppRunRecord(
+        run_id=run_id,
+        ts_start=ts_start,
+        ts_end=max([ts_start] + ts_list),
+        script=base.script,
+        loaded_files=dict(base.loaded_files),
+        request=request,
+        response=base.response.copy(),
+        queries=queries,
+        nondet=[],
+        client_id=request.client_id,
+        visit_id=request.visit_id,
+        request_id=request.request_id,
+    )
 
 
 @dataclass

@@ -80,22 +80,30 @@ class QueryResult:
 
     def snapshot(self) -> Tuple:
         """Canonical comparable form (paper: 'produces results different
-        from the original execution')."""
+        from the original execution').  Memoized: callers snapshot at
+        record time, before scripts can mutate the returned row dicts, and
+        the recording pipeline asks more than once per statement."""
+        cached = self.__dict__.get("_snapshot")
+        if cached is not None:
+            return cached
         if self.kind == "select":
             assert self.rows is not None
-            return (
+            value = (
                 "select",
                 self.ok,
                 tuple(tuple(sorted(row.items())) for row in self.rows),
             )
-        return (
-            "write",
-            self.kind,
-            self.ok,
-            self.rowcount,
-            tuple(sorted(self.affected_row_ids)),
-            tuple(sorted(self.inserted_row_ids)),
-        )
+        else:
+            value = (
+                "write",
+                self.kind,
+                self.ok,
+                self.rowcount,
+                tuple(sorted(self.affected_row_ids)),
+                tuple(sorted(self.inserted_row_ids)),
+            )
+        self._snapshot = value
+        return value
 
 
 class Executor:

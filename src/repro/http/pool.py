@@ -1,0 +1,112 @@
+"""Bounded serving pool for :class:`repro.http.server.HttpServer`.
+
+A fixed set of worker threads drains a bounded queue of requests; when the
+queue is full, ``submit`` fails fast with a 503 + ``Retry-After`` instead
+of letting unbounded thread spawn (or an unbounded backlog) hide overload.
+This is the admission-control layer in front of the striped store /
+group-commit WAL hot path — the pool bounds concurrency, the stripes make
+that concurrency cheap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import List, Optional
+
+from repro.http.message import HttpRequest, HttpResponse
+
+#: What an overloaded pool answers: transient, back off briefly.
+_OVERLOADED = {
+    "status": 503,
+    "body": "server overloaded (request queue full; retry shortly)",
+    "headers": {"Retry-After": "1", "X-Warp-Overloaded": "queue"},
+}
+
+
+class PendingResponse:
+    """Future for one queued request; ``wait()`` blocks for the response."""
+
+    __slots__ = ("request", "_event", "_response", "_error")
+
+    def __init__(self, request: HttpRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._response: Optional[HttpResponse] = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, response: Optional[HttpResponse], error=None) -> None:
+        self._response = response
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> HttpResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+
+class ServerPool:
+    """Fixed worker threads + bounded queue in front of ``server.handle``."""
+
+    def __init__(self, server, workers: int = 8, queue_depth: int = 64) -> None:
+        if workers < 1:
+            raise ValueError("pool needs at least one worker")
+        if queue_depth < 1:
+            raise ValueError("queue depth must be positive")
+        self.server = server
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue[Optional[PendingResponse]]" = queue.Queue(
+            maxsize=queue_depth
+        )
+        self._closed = False
+        self.rejected = 0
+        self._workers: List[threading.Thread] = []
+        for index in range(workers):
+            worker = threading.Thread(
+                target=self._work, name=f"serve-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    def _work(self) -> None:
+        while True:
+            pending = self._queue.get()
+            if pending is None:
+                return
+            try:
+                pending._resolve(self.server.handle(pending.request))
+            except BaseException as exc:  # surfaced to the waiter
+                pending._resolve(None, exc)
+
+    def submit(self, request: HttpRequest) -> PendingResponse:
+        """Enqueue one request.  On a full queue the returned handle is
+        already resolved with the 503 backpressure response."""
+        pending = PendingResponse(request)
+        if self._closed:
+            pending._resolve(HttpResponse(status=503, body="server pool closed"))
+            return pending
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.rejected += 1
+            pending._resolve(HttpResponse(**_OVERLOADED))
+        return pending
+
+    def handle(self, request: HttpRequest, timeout: Optional[float] = None) -> HttpResponse:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(request).wait(timeout)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting work, drain the queue, and join the workers."""
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=timeout)

@@ -49,8 +49,11 @@ class HttpServer:
         self.cookie_invalidation: Set[str] = set()
         #: Optional hook returning the number of pending conflicts for a client.
         self.conflict_lookup: Optional[Callable[[str], int]] = None
+        #: Dependency-invalidated response cache (repro.http.cache); None
+        #: serves every request through the runtime.
+        self.response_cache = None
         #: Runs that executed while a repair was in progress.
-        self.repair_active = False
+        self._repair_active = False
         self.pending_during_repair: List[int] = []
         self.suspended = False
         #: Toggle for recording (the "No WARP" baseline disables it).
@@ -70,6 +73,19 @@ class HttpServer:
         self._in_flight = 0
         self._state_lock = threading.Lock()
         self._state_cond = threading.Condition(self._state_lock)
+
+    @property
+    def repair_active(self) -> bool:
+        return self._repair_active
+
+    @repair_active.setter
+    def repair_active(self, value: bool) -> None:
+        """Repair transitions flush the response cache: entries cached in
+        the old generation must not survive into the repaired one, and the
+        cache stays cold (``_handle`` bypasses it) while a repair runs."""
+        self._repair_active = value
+        if self.response_cache is not None:
+            self.response_cache.flush()
 
     def route(self, path: str, script_name: str) -> None:
         self.routes[path] = script_name
@@ -101,6 +117,10 @@ class HttpServer:
                 )
 
     def end_switch(self) -> None:
+        if self.response_cache is not None:
+            # The generation just switched: every cached response reflects
+            # pre-repair data.
+            self.response_cache.flush()
         with self._state_cond:
             self.suspended = False
             self._state_cond.notify_all()
@@ -206,6 +226,32 @@ class HttpServer:
             request.cookies.clear()
             self.cookie_invalidation.discard(client_id)
 
+        # Pending conflicts stamp a per-client header on the response, so
+        # such responses are neither served from nor admitted to the cache.
+        pending_conflicts = 0
+        if self.conflict_lookup is not None and client_id is not None:
+            pending_conflicts = self.conflict_lookup(client_id)
+
+        cache = self.response_cache
+        use_cache = (
+            cache is not None
+            and request.method == "GET"
+            and self.recording
+            and self.runtime.recording
+            and not bypass_gate
+            and not self._repair_active
+            and (gate is None or not gate.active)
+            and not invalidated
+            and not pending_conflicts
+        )
+        if use_cache:
+            hit = cache.begin_hit(script_name, request)
+            if hit is not None:
+                record, base_run_id = hit
+                self.graph.add_replayed_run(record, base_run_id)
+                return record.response
+            token = cache.write_token()
+
         try:
             response, record = self.runtime.execute(script_name, request)
         except Exception:
@@ -219,15 +265,18 @@ class HttpServer:
         if invalidated:
             for name in stale:
                 response.set_cookies.setdefault(name, None)
-        if self.conflict_lookup is not None and client_id is not None:
-            pending = self.conflict_lookup(client_id)
-            if pending:
-                response.headers["X-Warp-Conflicts"] = str(pending)
+        if pending_conflicts:
+            response.headers["X-Warp-Conflicts"] = str(pending_conflicts)
 
         if self.recording:
             self.graph.add_run(record)
-            if self.repair_active:
-                # List append is atomic under the GIL; finalize re-applies
-                # in arrival-ts order regardless of append interleaving.
-                self.pending_during_repair.append(record.run_id)
+            if self._repair_active:
+                # Under striped store locks nothing serializes concurrent
+                # handlers here, so the once GIL-atomic bare append moved
+                # under the state lock.
+                with self._state_lock:
+                    if self._repair_active:
+                        self.pending_during_repair.append(record.run_id)
+            if use_cache and cache.cacheable(record):
+                cache.put(script_name, request, record, token)
         return response

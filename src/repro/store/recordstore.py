@@ -37,10 +37,12 @@ from repro.ahg.records import (
     PatchRecord,
     QueryRecord,
     VisitRecord,
+    replay_clone,
 )
 from repro.core.errors import ReproError
 from repro.core.serialize import write_json_atomically
-from repro.store.wal import RecordWal
+from repro.http.message import HttpRequest
+from repro.store.wal import CommitTicket, RecordWal
 
 PartitionKey = Tuple[str, str, object]
 
@@ -178,7 +180,9 @@ class TouchIndex:
 class RecordStore:
     """Primary record maps plus the secondary indexes repair relies on."""
 
-    def __init__(self, wal: Optional[RecordWal] = None) -> None:
+    def __init__(
+        self, wal: Optional[RecordWal] = None, lock_mode: str = "striped"
+    ) -> None:
         self.runs: Dict[int, AppRunRecord] = {}
         #: Run ids in append order (replacement preserves position).
         self._run_order: List[int] = []
@@ -231,50 +235,142 @@ class RecordStore:
         self.pending_repair_jobs: Dict[str, dict] = {}
         self._ended_repair_jobs: Set[str] = set()
 
-        #: Serializes mutations (and the lazy partition-index build) so
-        #: concurrent request threads can append runs while a repair reads
-        #: the indexes.  Reentrant: replay/gc call other mutators.
-        self._lock = threading.RLock()
+        # -- striped locking ---------------------------------------------------
+        # Lock-order contract (DESIGN.md "Striped store locking"): writers
+        # hold ``records`` for the whole mutation and take ``touch`` /
+        # ``qindex`` nested inside it; a thread holding several stripes must
+        # have acquired them in records → touch → qindex order (skipping
+        # stripes is fine, acquiring backwards is not).  Readers take the
+        # narrowest stripe covering every structure they read: TouchIndex
+        # walks need only ``touch``, partition-bucket merges need ``records``
+        # + ``qindex`` (the lazy build iterates runs).  ``coarse`` aliases
+        # all three names to one RLock — the pre-stripe ablation reference;
+        # any interleaving legal under striped is legal under coarse, which
+        # is what the equivalence smoke test exercises.  Reentrant: replay/
+        # gc call other mutators.
+        if lock_mode not in ("striped", "coarse"):
+            raise ValueError(f"lock_mode must be 'striped' or 'coarse', got {lock_mode!r}")
+        self.lock_mode = lock_mode
+        self._records_lock = threading.RLock()
+        if lock_mode == "coarse":
+            self._touch_lock = self._records_lock
+            self._qindex_lock = self._records_lock
+        else:
+            self._touch_lock = threading.RLock()
+            self._qindex_lock = threading.RLock()
+        # Legacy alias (pre-stripe code and tests reach for ``_lock``).
+        self._lock = self._records_lock
 
         self.wal = wal
+        #: Size-triggered rotation: when the WAL grows past ``rotate_bytes``
+        #: appended bytes, ``rotate_hook`` is invoked (outside all store
+        #: locks) after the triggering mutation commits.  The hook —
+        #: installed by :class:`repro.warp.WarpSystem` — snapshots the
+        #: deployment and truncates the log.
+        self.rotate_bytes: Optional[int] = None
+        self.rotate_hook = None
 
     @property
     def lock(self) -> threading.RLock:
-        """The store's mutation lock, for read paths that must iterate
-        runs/indexes consistently while request threads append (e.g. the
-        repair-plan preview, which runs ungated during live traffic)."""
-        return self._lock
+        """The store's primary (``records``) mutation lock, for read paths
+        that must iterate runs/indexes consistently while request threads
+        append (e.g. the repair-plan preview, which runs ungated during
+        live traffic).  Every writer holds it for the whole mutation, in
+        both lock modes."""
+        return self._records_lock
+
+    # -- commit plumbing ----------------------------------------------------
+
+    def _finish(self, ticket: Optional[CommitTicket]) -> None:
+        """Wait (outside every stripe) until the mutation's journal entry
+        is durable, then fire size-triggered rotation if the log has grown
+        past its bound.  With group commit this wait is where concurrent
+        writers share one fsync; the stripes are never held across it."""
+        if ticket is None:
+            return
+        ticket.wait()
+        wal = self.wal
+        if (
+            self.rotate_hook is not None
+            and wal is not None
+            and self.rotate_bytes is not None
+            and wal.appended_bytes >= self.rotate_bytes
+        ):
+            self.rotate_hook()
 
     # ------------------------------------------------------------------ writes
 
     def add_run(self, run: AppRunRecord) -> None:
-        with self._lock:
-            self.runs[run.run_id] = run
-            self._run_order.append(run.run_id)
-            self.query_count += len(run.queries)
-            key = run.browser_key()
-            if key is not None:
-                self._runs_by_visit.setdefault(key, []).append(run.run_id)
-                self._note_visit_id(run.client_id, run.visit_id)
-                if run.request_id is not None:
-                    self.request_map[key + (run.request_id,)] = run.run_id
-            if run.client_id is not None:
-                self._client_runs.setdefault(run.client_id, []).append(run.run_id)
-            self._index_run_files(run)
-            # Keep partition buckets fresh for tables already indexed.
+        self._finish(self._add_run_nowait(run))
+
+    def _add_run_nowait(self, run: AppRunRecord) -> Optional[CommitTicket]:
+        with self._records_lock:
+            self._insert_run(run)
+            # Journaled under the records stripe so WAL order equals store
+            # order; the fsync wait happens in _finish, outside every lock.
+            if self.wal is not None:
+                return self.wal.append("run", run.to_wire())
+        return None
+
+    def _insert_run(self, run: AppRunRecord) -> None:
+        self.runs[run.run_id] = run
+        self._run_order.append(run.run_id)
+        self.query_count += len(run.queries)
+        key = run.browser_key()
+        if key is not None:
+            self._runs_by_visit.setdefault(key, []).append(run.run_id)
+            self._note_visit_id(run.client_id, run.visit_id)
+            if run.request_id is not None:
+                self.request_map[key + (run.request_id,)] = run.run_id
+        if run.client_id is not None:
+            self._client_runs.setdefault(run.client_id, []).append(run.run_id)
+        self._index_run_files(run)
+        with self._touch_lock:
             for query in run.queries:
                 self.touch.index_query(query, run.run_id)
+        # Keep partition buckets fresh for tables already indexed.
+        with self._qindex_lock:
+            for query in run.queries:
                 if query.table in self._qindex_built:
                     self._index_query(query)
-            if self.wal is not None:
-                self.wal.append("run", run.to_dict())
 
     def add_runs(self, runs: Iterable[AppRunRecord]) -> None:
+        """Bulk append: journal every run, wait once on the last ticket —
+        under group commit a whole batch shares one fsync."""
+        last = None
         for run in runs:
-            self.add_run(run)
+            ticket = self._add_run_nowait(run)
+            if ticket is not None:
+                last = ticket
+        self._finish(last)
+
+    def add_replayed_run(self, run: AppRunRecord, base_run_id: int) -> None:
+        """Record a response-cache hit's synthetic run (see
+        :func:`repro.ahg.records.replay_clone`).  Identical store state to
+        ``add_run``, but journaled as a compact ``run_replay`` entry —
+        fresh identity plus a pointer to the base run, instead of
+        re-serializing the full payload the base's WAL entry already
+        carries."""
+        ticket = None
+        with self._records_lock:
+            self._insert_run(run)
+            if self.wal is not None:
+                ticket = self.wal.append(
+                    "run_replay",
+                    {
+                        "base_run_id": base_run_id,
+                        "run_id": run.run_id,
+                        "ts_start": run.ts_start,
+                        "qids": [query.qid for query in run.queries],
+                        "ts": [query.ts for query in run.queries],
+                        "request": run.request.to_dict(),
+                    },
+                )
+        self._finish(ticket)
 
     def add_visit(self, visit: VisitRecord) -> None:
-        with self._lock:
+        ticket = None
+        with self._records_lock:
             self.visits[(visit.client_id, visit.visit_id)] = visit
             self._client_visits.setdefault(visit.client_id, []).append(visit.visit_id)
             self._note_visit_id(visit.client_id, visit.visit_id)
@@ -283,7 +379,8 @@ class RecordStore:
                     (visit.client_id, visit.parent_visit), []
                 ).append(visit.visit_id)
             if self.wal is not None:
-                self.wal.append("visit", visit.to_dict())
+                ticket = self.wal.append("visit", visit.to_dict())
+        self._finish(ticket)
 
     # The extension keeps appending to an uploaded visit's record (events,
     # request ids, cookie snapshots) while the visit is live; it shares the
@@ -294,74 +391,88 @@ class RecordStore:
 
     def log_visit_event(self, client_id: str, visit_id: int, event: EventRecord) -> None:
         if self.wal is not None and (client_id, visit_id) in self.visits:
-            self.wal.append(
-                "visit_event",
-                {"client_id": client_id, "visit_id": visit_id, "event": event.to_dict()},
+            self._finish(
+                self.wal.append(
+                    "visit_event",
+                    {"client_id": client_id, "visit_id": visit_id, "event": event.to_dict()},
+                )
             )
 
     def log_visit_request(self, client_id: str, visit_id: int, request_id: int) -> None:
         if self.wal is not None and (client_id, visit_id) in self.visits:
-            self.wal.append(
-                "visit_request",
-                {"client_id": client_id, "visit_id": visit_id, "request_id": request_id},
+            self._finish(
+                self.wal.append(
+                    "visit_request",
+                    {"client_id": client_id, "visit_id": visit_id, "request_id": request_id},
+                )
             )
 
     def log_visit_cookies(self, client_id: str, visit_id: int, cookies_after) -> None:
         if self.wal is not None and (client_id, visit_id) in self.visits:
-            self.wal.append(
-                "visit_cookies",
-                {
-                    "client_id": client_id,
-                    "visit_id": visit_id,
-                    "cookies_after": {k: dict(v) for k, v in cookies_after.items()},
-                },
+            self._finish(
+                self.wal.append(
+                    "visit_cookies",
+                    {
+                        "client_id": client_id,
+                        "visit_id": visit_id,
+                        "cookies_after": {k: dict(v) for k, v in cookies_after.items()},
+                    },
+                )
             )
 
     def mark_run_canceled(self, run_id: int) -> None:
         """Record that repair canceled (undid) this run — journaled so the
         cancellation survives recovery."""
-        with self._lock:
+        ticket = None
+        with self._records_lock:
             run = self.runs.get(run_id)
             if run is None or run.canceled:
                 return
             run.canceled = True
             if self.wal is not None:
-                self.wal.append("cancel_run", {"run_id": run_id})
+                ticket = self.wal.append("cancel_run", {"run_id": run_id})
+        self._finish(ticket)
 
     def add_patch(self, patch: PatchRecord) -> None:
-        with self._lock:
+        ticket = None
+        with self._records_lock:
             self.patches.append(patch)
             if self.wal is not None:
-                self.wal.append("patch", patch.to_dict())
+                ticket = self.wal.append("patch", patch.to_dict())
+        self._finish(ticket)
 
     # ------------------------------------------------------------------ gate queue
 
     def log_gate_queue(self, ticket: int, ts: int, request: dict) -> None:
         """Journal a request the online-repair gate queued; it must survive
         a crash until ``log_gate_apply`` records its re-application."""
-        with self._lock:
+        wal_ticket = None
+        with self._records_lock:
             entry = {"ticket": ticket, "ts": ts, "request": request}
             self.pending_gate_queue[ticket] = entry
             if self.wal is not None:
-                self.wal.append("gate_queue", entry)
+                wal_ticket = self.wal.append("gate_queue", entry)
+        self._finish(wal_ticket)
 
     def next_gate_ticket(self) -> int:
         """First ticket number not yet used by a queued or applied gate
         entry (tickets must stay unique across crash recovery)."""
-        with self._lock:
+        with self._records_lock:
             highest = max(self.pending_gate_queue, default=0)
             highest = max(highest, max(self._applied_gate_tickets, default=0))
             return highest + 1
 
     def log_gate_apply(self, ticket: int) -> None:
         """Journal that a queued request was re-applied (exactly once)."""
-        with self._lock:
+        wal_ticket = None
+        with self._records_lock:
             if ticket in self._applied_gate_tickets:
                 return
             self._applied_gate_tickets.add(ticket)
             self.pending_gate_queue.pop(ticket, None)
             if self.wal is not None:
-                self.wal.append("gate_apply", {"ticket": ticket})
+                wal_ticket = self.wal.append("gate_apply", {"ticket": ticket})
+        self._finish(wal_ticket)
 
     # ------------------------------------------------------------------ repair jobs
 
@@ -369,21 +480,25 @@ class RecordStore:
         """Journal that a repair job began executing; it stays pending
         until :meth:`log_repair_job_end` so an interrupted job is visible
         after recovery."""
-        with self._lock:
+        ticket = None
+        with self._records_lock:
             entry = {"job_id": job_id, "spec": spec, "ts": ts}
             self.pending_repair_jobs[job_id] = entry
             if self.wal is not None:
-                self.wal.append("job_start", entry)
+                ticket = self.wal.append("job_start", entry)
+        self._finish(ticket)
 
     def log_repair_job_end(self, job_id: str, status: str) -> None:
         """Journal a job's terminal status (exactly once)."""
-        with self._lock:
+        ticket = None
+        with self._records_lock:
             if job_id in self._ended_repair_jobs:
                 return
             self._ended_repair_jobs.add(job_id)
             self.pending_repair_jobs.pop(job_id, None)
             if self.wal is not None:
-                self.wal.append("job_end", {"job_id": job_id, "status": status})
+                ticket = self.wal.append("job_end", {"job_id": job_id, "status": status})
+        self._finish(ticket)
 
     def next_repair_job_seq(self) -> int:
         """First job sequence number not used by a pending or ended job
@@ -393,7 +508,7 @@ class RecordStore:
             _, _, tail = job_id.rpartition("-")
             return int(tail) if tail.isdigit() else 0
 
-        with self._lock:
+        with self._records_lock:
             highest = max(
                 (seq_of(job_id) for job_id in self.pending_repair_jobs), default=0
             )
@@ -414,7 +529,8 @@ class RecordStore:
         replacements and invalidate once.  Returns the old record, or
         None if ``run_id`` is unknown.
         """
-        with self._lock:
+        ticket = None
+        with self._records_lock:
             old = self.runs.get(run_id)
             if old is None:
                 return None
@@ -426,17 +542,19 @@ class RecordStore:
             self.query_count += len(record.queries) - len(old.queries)
             self._unindex_run_files(old)
             self._index_run_files(record)
-            self.touch.unindex_run(old)
-            for query in record.queries:
-                self.touch.index_query(query, run_id)
+            with self._touch_lock:
+                self.touch.unindex_run(old)
+                for query in record.queries:
+                    self.touch.index_query(query, run_id)
             if self.wal is not None:
-                self.wal.append("replace_run", record.to_dict())
-            return old
+                ticket = self.wal.append("replace_run", record.to_wire())
+        self._finish(ticket)
+        return old
 
     def invalidate_partition_indexes(self) -> None:
         """Drop the lazily built partition buckets (records changed under
         them); the next ``queries_touching`` rebuilds on demand."""
-        with self._lock:
+        with self._qindex_lock:
             self._qindex_built.clear()
             self._qindex_keys.clear()
             self._qindex_all.clear()
@@ -523,8 +641,12 @@ class RecordStore:
         """Candidate queries that may read or write the given partitions
         strictly after ``since_ts``, in timestamp order.  Buckets are kept
         time-ordered, so this is a heap merge of pre-sorted runs of
-        answers — no per-call sort.  Callers re-check precisely."""
-        with self._lock:
+        answers — no per-call sort.  Callers re-check precisely.
+
+        Takes ``records`` before ``qindex`` (lock-order contract): the
+        lazy build iterates the run log, and acquiring records *after*
+        qindex would deadlock against a writer holding records."""
+        with self._records_lock, self._qindex_lock:
             self._build_index(table)
             if whole_table:
                 buckets = [self._qindex_table.get(table, [])]
@@ -599,10 +721,15 @@ class RecordStore:
         entries (paper §5.2).  Oldest visit logs beyond the quota are
         dropped in one pass per client (their server-side run records
         remain)."""
-        with self._lock:
-            return self._enforce_client_quota(max_visits_per_client)
+        ticket = None
+        with self._records_lock:
+            dropped, ticket = self._enforce_client_quota(max_visits_per_client)
+        self._finish(ticket)
+        return dropped
 
-    def _enforce_client_quota(self, max_visits_per_client: int) -> int:
+    def _enforce_client_quota(
+        self, max_visits_per_client: int
+    ) -> Tuple[int, Optional[CommitTicket]]:
         dropped = 0
         for client_id, visit_ids in self._client_visits.items():
             excess = len(visit_ids) - max_visits_per_client
@@ -617,9 +744,12 @@ class RecordStore:
                 self._unlink_child(self.visits.pop((client_id, visit_id)))
             visit_ids[:] = [vid for vid in visit_ids if vid not in victims]
             dropped += len(victims)
+        ticket = None
         if dropped and self.wal is not None:
-            self.wal.append("quota", {"max_visits_per_client": max_visits_per_client})
-        return dropped
+            ticket = self.wal.append(
+                "quota", {"max_visits_per_client": max_visits_per_client}
+            )
+        return dropped, ticket
 
     def gc(self, horizon_ts: int) -> int:
         """Drop runs and visits that ended before ``horizon_ts``.
@@ -628,10 +758,13 @@ class RecordStore:
         liveness ("does any run of this visit survive?") is answered from
         the ``(client, visit)`` index instead of rescanning all runs.
         """
-        with self._lock:
-            return self._gc(horizon_ts)
+        ticket = None
+        with self._records_lock:
+            removed, ticket = self._gc(horizon_ts)
+        self._finish(ticket)
+        return removed
 
-    def _gc(self, horizon_ts: int) -> int:
+    def _gc(self, horizon_ts: int) -> Tuple[int, Optional[CommitTicket]]:
         removed = 0
         keep_order: List[int] = []
         dead_runs: List[AppRunRecord] = []
@@ -648,7 +781,8 @@ class RecordStore:
             del self.runs[run.run_id]
             self.query_count -= len(run.queries)
             self._unindex_run_files(run)
-            self.touch.unindex_run(run)
+            with self._touch_lock:
+                self.touch.unindex_run(run)
             if run.client_id is not None:
                 dead_runs_by_client.setdefault(run.client_id, set()).add(run.run_id)
             key = run.browser_key()
@@ -683,9 +817,10 @@ class RecordStore:
 
         # Partition buckets may reference dropped queries; rebuild lazily.
         self.invalidate_partition_indexes()
+        ticket = None
         if removed and self.wal is not None:
-            self.wal.append("gc", {"horizon_ts": horizon_ts})
-        return removed
+            ticket = self.wal.append("gc", {"horizon_ts": horizon_ts})
+        return removed, ticket
 
     # ------------------------------------------------------------------ durability
 
@@ -711,8 +846,13 @@ class RecordStore:
             return snapshot
 
     @classmethod
-    def from_snapshot(cls, data: dict, wal: Optional[RecordWal] = None) -> "RecordStore":
-        store = cls()
+    def from_snapshot(
+        cls,
+        data: dict,
+        wal: Optional[RecordWal] = None,
+        lock_mode: str = "striped",
+    ) -> "RecordStore":
+        store = cls(lock_mode=lock_mode)
         for item in data.get("visits", ()):
             store.add_visit(VisitRecord.from_dict(item))
         for item in data.get("runs", ()):
@@ -740,15 +880,30 @@ class RecordStore:
         carries a random nonce — two saves of identical-looking state must
         never share an id, or a crash between the second save's pre-write
         marker and its snapshot write would make recovery skip entries
-        that only the *first* snapshot (still on disk) lacks."""
-        snapshot_id = f"{len(self._run_order)}-{len(self.visits)}-{os.urandom(8).hex()}"
-        payload["snapshot_id"] = snapshot_id
-        if self.wal is not None:
-            self.wal.append("snapshot_marker", {"snapshot_id": snapshot_id})
-        write_json_atomically(path, payload)
-        if self.wal is not None:
-            self.wal.truncate()
-            self.wal.append("snapshot_marker", {"snapshot_id": snapshot_id})
+        that only the *first* snapshot (still on disk) lacks.
+
+        Runs under the records stripe so no mutation can journal between
+        the pre-write marker and the truncation — an entry landing in that
+        window would be dropped by the truncate without being in the
+        snapshot (this is what makes mid-traffic WAL rotation safe).  The
+        pre-write marker is waited durable *before* the snapshot file is
+        written: under group commit, a crash after the snapshot lands but
+        before the marker reaches disk would otherwise leave a WAL whose
+        tail predates the snapshot with no marker tying them together, and
+        recovery would refuse the pair."""
+        with self._records_lock:
+            snapshot_id = (
+                f"{len(self._run_order)}-{len(self.visits)}-{os.urandom(8).hex()}"
+            )
+            payload["snapshot_id"] = snapshot_id
+            if self.wal is not None:
+                self.wal.append("snapshot_marker", {"snapshot_id": snapshot_id}).wait()
+            write_json_atomically(path, payload)
+            if self.wal is not None:
+                self.wal.truncate()
+                # Waited durable so the truncated WAL is never observable
+                # without the marker tying it to this snapshot.
+                self.wal.append("snapshot_marker", {"snapshot_id": snapshot_id}).wait()
         return snapshot_id
 
     @classmethod
@@ -768,10 +923,17 @@ class RecordStore:
             store.replay_wal(wal_path, snapshot_id=snapshot_id)
         return store
 
-    def replay_wal(self, wal_path: str, snapshot_id: Optional[str] = None) -> int:
+    def replay_wal(
+        self,
+        wal_path: str,
+        snapshot_id: Optional[str] = None,
+        wal_options: Optional[dict] = None,
+    ) -> int:
         """Replay journaled entries onto this store, then attach the WAL
         for future appends (attachment must come last so replayed entries
-        are not re-journaled).  Returns the number of entries applied.
+        are not re-journaled).  ``wal_options`` are passed to the fresh
+        :class:`RecordWal` (durability / flush knobs survive a reload).
+        Returns the number of entries applied.
 
         ``snapshot_id`` ties replay to the snapshot the store was built
         from: ``save`` journals a ``snapshot_marker`` both before writing
@@ -804,7 +966,7 @@ class RecordStore:
                 continue
             self.apply_logged(kind, data)
             applied += 1
-        self.wal = RecordWal(wal_path)
+        self.wal = RecordWal(wal_path, **(wal_options or {}))
         return applied
 
     def apply_logged(self, kind: str, data: dict) -> None:
@@ -815,6 +977,25 @@ class RecordStore:
             record = AppRunRecord.from_dict(data)
             if record.run_id not in self.runs:
                 self.add_run(record)
+        elif kind == "run_replay":
+            # Compact journal entry for a response-cache hit: fresh
+            # identity (run id, qids, timestamps) over the payload of the
+            # base run, which WAL order guarantees was applied first (the
+            # cache refuses to serve a template whose base has been gc'd
+            # or replaced, so a well-formed log always resolves the base).
+            if data["run_id"] not in self.runs:
+                base = self.runs.get(data["base_run_id"])
+                if base is not None:
+                    self.add_run(
+                        replay_clone(
+                            base,
+                            run_id=data["run_id"],
+                            ts_start=data["ts_start"],
+                            qids=list(data["qids"]),
+                            ts_list=list(data["ts"]),
+                            request=HttpRequest.from_dict(data["request"]),
+                        )
+                    )
         elif kind == "visit":
             # Upsert: over a snapshot that already holds the visit, replay
             # resets it to the base record and the delta entries that

@@ -1,4 +1,4 @@
-"""JSONL write-ahead log for the record store.
+"""JSONL write-ahead log for the record store, with group commit.
 
 Each mutation the store applies is appended as one JSON line —
 ``{"kind": ..., "data": ...}`` — before it is acknowledged.  Recovery
@@ -6,23 +6,97 @@ replays the log over the most recent snapshot; ``truncate`` is called
 after a snapshot has been written, because the snapshot supersedes every
 entry logged so far.
 
-The log is deliberately dumb: no framing beyond newlines, no checksums,
-no compaction policy.  A torn final line (crash mid-write) is skipped on
-replay rather than aborting recovery.
+Durability is configurable per log (``REPRO_WAL_DURABILITY`` overrides
+the default for a whole process, which is how the crash-injection suite
+is re-run under group commit):
+
+* ``always`` — every ``append`` writes, flushes and fsyncs inline before
+  returning.  One fsync per entry: the seed behavior, kept as the
+  conservative reference.
+* ``group``  — appends are buffered; ``append`` returns a
+  :class:`CommitTicket` and an entry is only *durable* once its ticket's
+  ``wait()`` returns.  Commit is **leader-based**: the first waiter to
+  take the I/O lock writes and fsyncs the whole buffer — its own entry
+  plus every concurrent committer's — inline, and the followers it
+  covered wake durable.  A lone committer therefore pays exactly one
+  inline fsync (``always`` latency, no thread handoff), while N
+  concurrent committers share one.  A background flusher thread remains
+  as the safety net that bounds the durability lag of entries nobody
+  waits on (one batch per ``flush_interval``).
+* ``none``   — write + flush only (survives process death via the OS page
+  cache, not power loss).  For benchmarks and ablations.
+
+Crash window under ``group``: entries whose tickets were never waited on
+may be lost on power failure — exactly the classic group-commit contract.
+The record store waits on every ticket before acknowledging a mutation to
+its caller, so *acknowledged* durability is identical across modes; only
+the fsync schedule differs.
+
+The log is deliberately dumb: no framing beyond newlines, no checksums.
+A torn final line (crash mid-write) is skipped on replay rather than
+aborting recovery.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Iterator, Optional, Tuple
+import threading
+from time import monotonic as _monotonic
+from typing import Iterator, List, Optional, Tuple
+
+_DURABILITY_MODES = ("always", "group", "none")
+
+#: Compact separators: the WAL is written far more often than read.
+_COMPACT = (",", ":")
+
+
+class CommitTicket:
+    """Handle for one appended entry; ``wait()`` blocks until the entry is
+    durable per the log's policy.  Tickets from ``always``/``none`` logs
+    (and from a detached store) are pre-resolved."""
+
+    __slots__ = ("seq", "_wal")
+
+    def __init__(self, seq: int, wal: Optional["RecordWal"]) -> None:
+        self.seq = seq
+        self._wal = wal
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until durable; returns False only on timeout."""
+        if self._wal is None:
+            return True
+        return self._wal.wait_durable(self.seq, timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._wal is None or self._wal.is_durable(self.seq)
+
+
+#: Shared pre-resolved ticket for inline-durable appends.
+_RESOLVED = CommitTicket(0, None)
 
 
 class RecordWal:
-    """Append-only JSONL durability log."""
+    """Append-only JSONL durability log with optional group commit."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        durability: Optional[str] = None,
+        flush_interval: float = 0.002,
+        flush_max_entries: int = 128,
+    ) -> None:
+        if durability is None:
+            durability = os.environ.get("REPRO_WAL_DURABILITY", "always")
+        if durability not in _DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {_DURABILITY_MODES}, got {durability!r}"
+            )
         self.path = path
+        self.durability = durability
+        self.flush_interval = flush_interval
+        self.flush_max_entries = flush_max_entries
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -31,21 +105,179 @@ class RecordWal:
         # later recovery would stop there and lose everything after it.
         self.repair(path)
         self._fh = open(path, "a", encoding="utf-8")
+        #: Bytes appended since open/truncate — the store's size-triggered
+        #: rotation watches this, not the file (truncate resets it).
+        self.appended_bytes = 0
 
-    def append(self, kind: str, data: dict) -> None:
-        self._fh.write(json.dumps({"kind": kind, "data": data}) + "\n")
-        self._fh.flush()
-        # flush() only reaches the OS page cache; acknowledged entries must
-        # survive power loss, not just process death.
-        os.fsync(self._fh.fileno())
+        # Group-commit state.  Lock order: _io_lock before _lock.  Every
+        # committer (leader or flusher) captures the buffer *under the I/O
+        # lock* — with multiple committers that is what keeps the file in
+        # append (seq) order and makes a batch atomic against truncation.
+        self._lock = threading.Lock()
+        self._flush_cond = threading.Condition(self._lock)
+        self._durable_cond = threading.Condition(self._lock)
+        self._io_lock = threading.RLock()
+        self._buffer: List[str] = []
+        self._next_seq = 1
+        self._durable_seq = 0
+        self._closed = False
+        self._flusher: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ append
+
+    def append(self, kind: str, data: dict) -> CommitTicket:
+        line = json.dumps({"kind": kind, "data": data}, separators=_COMPACT) + "\n"
+        if self.durability != "group":
+            with self._io_lock:
+                self._fh.write(line)
+                self._fh.flush()
+                if self.durability == "always":
+                    # flush() only reaches the OS page cache; acknowledged
+                    # entries must survive power loss, not just process death.
+                    os.fsync(self._fh.fileno())
+                self.appended_bytes += len(line)
+            return _RESOLVED
+        with self._lock:
+            if self._closed:
+                raise ValueError("append to a closed WAL")
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            self._buffer.append(line)
+            self.appended_bytes += len(line)
+            if self._flusher is None:
+                self._flusher = threading.Thread(
+                    target=self._flush_loop, name="wal-flusher", daemon=True
+                )
+                self._flusher.start()
+            elif len(self._buffer) == 1:
+                # Wake the safety-net flusher only on empty→non-empty: it
+                # bounds the durability lag of unwaited entries, and one
+                # wakeup per batch is enough for that.
+                self._flush_cond.notify()
+        return CommitTicket(seq, self)
+
+    def wait_durable(self, seq: int, timeout: Optional[float] = None) -> bool:
+        if self.durability != "group":
+            return True
+        deadline = None if timeout is None else _monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._durable_seq >= seq:
+                    return True
+                if self._closed:
+                    return False
+            if deadline is not None and _monotonic() >= deadline:
+                with self._lock:
+                    return self._durable_seq >= seq
+            # Leader election: the first committer to take the I/O lock
+            # commits the whole buffer inline (everyone's entries, one
+            # fsync); the rest become followers and block below until the
+            # leader's notify — or, if their entry arrived after the
+            # leader captured the buffer, loop and lead the next batch.
+            if self._io_lock.acquire(blocking=False):
+                try:
+                    self._commit_buffer()
+                finally:
+                    self._io_lock.release()
+                continue
+            with self._lock:
+                if self._durable_seq >= seq or self._closed:
+                    continue
+                if deadline is None:
+                    self._durable_cond.wait()
+                else:
+                    remaining = deadline - _monotonic()
+                    if remaining > 0:
+                        self._durable_cond.wait(remaining)
+
+    def is_durable(self, seq: int) -> bool:
+        if self.durability != "group":
+            return True
+        with self._lock:
+            return self._durable_seq >= seq
+
+    def sync(self, timeout: Optional[float] = None) -> bool:
+        """Wait until everything appended so far is durable."""
+        with self._lock:
+            last = self._next_seq - 1
+        return self.wait_durable(last, timeout)
+
+    # ------------------------------------------------------------------ flusher
+
+    def _flush_loop(self) -> None:
+        """Safety net for entries nobody waits on: absorb a batch window,
+        then commit whatever the leaders have not already taken."""
+        while True:
+            with self._lock:
+                while not self._buffer and not self._closed:
+                    self._flush_cond.wait()
+                if self._closed and not self._buffer:
+                    return
+                if self.flush_interval > 0 and not self._closed:
+                    deadline = _monotonic() + self.flush_interval
+                    while (
+                        self._buffer
+                        and not self._closed
+                        and len(self._buffer) < self.flush_max_entries
+                    ):
+                        remaining = deadline - _monotonic()
+                        if remaining <= 0:
+                            break
+                        self._flush_cond.wait(remaining)
+            with self._io_lock:
+                self._commit_buffer()
+
+    def _commit_buffer(self) -> None:
+        """Write and fsync everything buffered, as one batch.  Caller must
+        hold ``_io_lock``: capturing the buffer under the I/O lock is what
+        keeps the file in seq order with concurrent committers, and makes
+        the batch atomic against ``truncate`` (which also holds it) — a
+        captured batch can never straddle a truncation, so no entry is
+        ever resurrected into the fresh file after its snapshot."""
+        with self._lock:
+            batch = self._buffer
+            self._buffer = []
+            last_seq = self._next_seq - 1
+        if batch:
+            self._fh.write("".join(batch))
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        with self._lock:
+            if last_seq > self._durable_seq:
+                self._durable_seq = last_seq
+                self._durable_cond.notify_all()
+
+    # ------------------------------------------------------------------ lifecycle
 
     def truncate(self) -> None:
-        """Discard all logged entries (a snapshot now covers them)."""
-        self._fh.close()
-        self._fh = open(self.path, "w", encoding="utf-8")
+        """Discard all logged entries (a snapshot now covers them).
+        Buffered entries are dropped and their tickets resolve immediately:
+        the snapshot that triggered the truncation already contains them."""
+        with self._io_lock:
+            with self._lock:
+                self._buffer = []
+                self._durable_seq = self._next_seq - 1
+                self.appended_bytes = 0
+                self._durable_cond.notify_all()
+            self._fh.close()
+            self._fh = open(self.path, "w", encoding="utf-8")
 
     def close(self) -> None:
-        self._fh.close()
+        flusher = None
+        with self._lock:
+            self._closed = True
+            self._flush_cond.notify_all()
+            self._durable_cond.notify_all()
+            flusher = self._flusher
+        if flusher is not None:
+            flusher.join(timeout=5.0)
+        # Drain anything the flusher did not get to (e.g. it was never
+        # started, or timed out above), then close the file.
+        with self._io_lock:
+            self._commit_buffer()
+            self._fh.close()
+
+    # ------------------------------------------------------------------ recovery
 
     @staticmethod
     def repair(path: str) -> int:
@@ -97,5 +329,5 @@ class RecordWal:
                 yield entry["kind"], entry["data"]
 
 
-def open_wal(path: Optional[str]) -> Optional[RecordWal]:
-    return RecordWal(path) if path is not None else None
+def open_wal(path: Optional[str], **options) -> Optional[RecordWal]:
+    return RecordWal(path, **options) if path is not None else None

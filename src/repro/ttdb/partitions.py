@@ -50,13 +50,23 @@ class ReadSet:
         return self.disjuncts is None
 
     def keys(self) -> FrozenSet[Constraint]:
-        """Flat union of all constrained keys (empty when ALL)."""
+        """Flat union of all constrained keys (empty when ALL).  Memoized:
+        the touch index walks this on every run append, and replayed-run
+        clones share their base's ReadSet instances."""
+        cached = self.__dict__.get("_keys")
+        if cached is not None:
+            return cached
         if self.disjuncts is None:
-            return frozenset()
-        out = set()
-        for disjunct in self.disjuncts:
-            out |= disjunct
-        return frozenset(out)
+            out = frozenset()
+        elif len(self.disjuncts) == 1:
+            out = self.disjuncts[0]
+        else:
+            union = set()
+            for disjunct in self.disjuncts:
+                union |= disjunct
+            out = frozenset(union)
+        object.__setattr__(self, "_keys", out)
+        return out
 
     def to_dict(self) -> dict:
         disjuncts = None

@@ -14,8 +14,9 @@ in-place execution with no versioning and no dependency information.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.clock import INFINITY, LogicalClock
 from repro.core.errors import RepairError, SqlError
@@ -26,6 +27,41 @@ from repro.db.storage import Database, Table, TableSchema
 from repro.db.storage import RowVersion
 from repro.ttdb.partitions import ReadSet, ReadSetPlanner, read_partitions
 from repro.ttdb.rollback import rollback_row as _rollback_row
+
+#: Statement-cache bounds: entry count (LRU-evicted) and the largest
+#: result (rows) worth pinning — big scans are cheap to re-run relative
+#: to the memory they would hold live.
+_STMT_CACHE_MAX = 2048
+_STMT_CACHE_MAX_ROWS = 8
+
+#: Partition-key value types the write side tracks (db.executor
+#: ``_partition_keys``): reads constrained to anything else must fall
+#: back to the table-level any-write counter.
+_SCALAR = (str, int, float, bool)
+
+
+def _validation_keys(read_set: ReadSet) -> Tuple[object, ...]:
+    """The write-counter keys whose stability proves a cached SELECT is
+    still current.  Narrowed reads validate against their partition keys
+    — invalidation on *any* constrained key is a superset of the
+    ``affects`` rule (which requires a write to match every constraint in
+    some disjunct), so this can only produce spurious misses, never stale
+    hits.  ALL-partition reads, empty disjuncts and non-scalar constraint
+    values validate against the table's any-write counter, which every
+    write bumps."""
+    table = read_set.table
+    disjuncts = read_set.disjuncts
+    if not disjuncts:  # None (reads everything) or () — be conservative
+        return (table,)
+    keys: List[object] = []
+    for disjunct in disjuncts:
+        if not disjunct:  # unconstrained branch reads everything
+            return (table,)
+        for column, value in disjunct:
+            if value is not None and not isinstance(value, _SCALAR):
+                return (table,)
+            keys.append((table, column, value))
+    return tuple(keys)
 
 
 class RepairJournal:
@@ -124,6 +160,36 @@ class TimeTravelDB:
         #: recorded per-query timestamps preserve the actual order for
         #: repair-time re-execution.
         self._lock = threading.RLock()
+        #: Called with the TTResult of every committed non-repair write,
+        #: *inside* the statement lock — the response cache subscribes so
+        #: invalidation is atomic with the commit (repro.http.cache).
+        self.write_hook = None
+        #: Read-through SELECT cache: a repeated ``(sql, params)`` read
+        #: whose *read partitions* have not been written since (write
+        #: counters per partition key, checked under the statement lock)
+        #: replays the cached rows/snapshot at a fresh timestamp instead
+        #: of re-executing.  Observably identical to re-execution — no
+        #: write touched a partition the read depends on, so the visible
+        #: version set is the same — and recorded identically (same
+        #: snapshot, read rows, read set; fresh ts).  Reads that cannot be
+        #: narrowed (ALL-partition, non-scalar constraint values) fall
+        #: back to the per-table any-write counter.  Only normal execution
+        #: uses the cache; repair re-execution always runs for real.
+        self.use_statement_cache = enabled
+        self._stmt_cache: "OrderedDict[Tuple[str, Tuple[object, ...]], Tuple[TTResult, int, int, Tuple, Tuple[int, ...]]]" = (
+            OrderedDict()
+        )
+        #: Write counters: a table name keys "any write to the table"; a
+        #: ``(table, column, value)`` partition key counts writes whose
+        #: written partitions include it.
+        self._write_counts: Dict[object, int] = {}
+
+    @property
+    def statement_lock(self) -> threading.RLock:
+        """The statement-granular execution lock; the response cache's hit
+        path holds it while validating an entry and drawing timestamps so
+        hits serialize against write commits exactly like real reads."""
+        return self._lock
 
     # -- schema ----------------------------------------------------------------
 
@@ -138,11 +204,93 @@ class TimeTravelDB:
     def execute(self, sql: str, params: Sequence[object] = ()) -> TTResult:
         """Execute one statement in the current generation, now."""
         stmt = parse(sql)
+        if self.use_statement_cache and isinstance(stmt, ast.Select):
+            return self._execute_select(stmt, sql, tuple(params))
         ts = self.clock.tick()
         ctx = ExecContext(
             ts=ts, gen=self.current_gen, current_gen=self.current_gen, repair=False
         )
         return self._run(stmt, sql, tuple(params), ctx)
+
+    # -- statement cache ---------------------------------------------------------
+
+    def _execute_select(
+        self, stmt: ast.Select, sql: str, params: Tuple[object, ...]
+    ) -> TTResult:
+        """Serve a normal-execution SELECT through the statement cache.
+
+        The timestamp is drawn *inside* the lock (uncached execution draws
+        it just before acquiring the lock), so a cached read observes the
+        same visible version set a re-execution at that timestamp would:
+        the write counters prove no write touching a partition the read
+        depends on committed between the cached execution and now.
+        """
+        key = (sql, params)
+        with self._lock:
+            counts = self._write_counts
+            cached = self._stmt_cache.get(key)
+            if cached is not None:
+                entry, gen, epoch, vkeys, versions = cached
+                if (
+                    gen == self.current_gen
+                    and epoch == self.database.ddl_epoch
+                    and versions == tuple(counts.get(k, 0) for k in vkeys)
+                ):
+                    self._stmt_cache.move_to_end(key)
+                    self.statements_executed += 1
+                    return self._replay_select(entry, self.clock.tick())
+                del self._stmt_cache[key]
+            ctx = ExecContext(
+                ts=self.clock.tick(),
+                gen=self.current_gen,
+                current_gen=self.current_gen,
+                repair=False,
+            )
+            tt_result = self._run_locked(stmt, sql, params, ctx)
+            result = tt_result.result
+            if result.ok and result.rows is not None and len(result.rows) <= _STMT_CACHE_MAX_ROWS:
+                vkeys = _validation_keys(tt_result.read_set)
+                self._stmt_cache[key] = (
+                    self._replay_select(tt_result, tt_result.ts),
+                    ctx.gen,
+                    self.database.ddl_epoch,
+                    vkeys,
+                    tuple(counts.get(k, 0) for k in vkeys),
+                )
+                if len(self._stmt_cache) > _STMT_CACHE_MAX:
+                    self._stmt_cache.popitem(last=False)
+            return tt_result
+
+    @staticmethod
+    def _replay_select(entry: TTResult, ts: int) -> TTResult:
+        """A fresh TTResult sharing ``entry``'s immutable payload.  Rows
+        are copied dict-by-dict: scripts receive (and may mutate) the row
+        dicts, so the cached copy must stay pristine."""
+        source = entry.result
+        result = QueryResult(
+            kind="select",
+            table=source.table,
+            rows=[dict(row) for row in source.rows],
+            rowcount=source.rowcount,
+            read_row_ids=source.read_row_ids,
+        )
+        result._snapshot = source.snapshot()
+        return TTResult(
+            sql=entry.sql,
+            params=entry.params,
+            ts=ts,
+            gen=entry.gen,
+            result=result,
+            read_set=entry.read_set,
+        )
+
+    def _flush_statement_cache(self) -> None:
+        """Drop every cached SELECT.  Called around anything that changes
+        visibility outside the write counters (generation
+        transitions, row rollback, gc, state restore) — the counters make
+        these flushes redundant in most cases, but the cache must stay
+        correct even if a future path forgets to bump one."""
+        self._stmt_cache.clear()
 
     def execute_script(self, sql: str, params: Sequence[object] = ()) -> List[TTResult]:
         """Execute a semicolon-separated batch (the SQL-injection vector).
@@ -252,10 +400,20 @@ class TimeTravelDB:
             read_set = read_partitions(stmt, params, schema)
         result = self.executor.execute(stmt, params, ctx, sql=sql)
         self.statements_executed += 1
+        if result.kind != "select":
+            # Any write (normal or repair — the latter is conservative but
+            # cheap) bumps the table's any-write counter plus one counter
+            # per written partition key, staling exactly the cached
+            # SELECTs whose read partitions it could have changed.
+            counts = self._write_counts
+            table = result.table
+            counts[table] = counts.get(table, 0) + 1
+            for key in result.written_partitions:
+                counts[key] = counts.get(key, 0) + 1
         full_table_write = (
             isinstance(stmt, (ast.Update, ast.Delete)) and stmt.where is None
         )
-        return TTResult(
+        tt_result = TTResult(
             sql=sql,
             params=params,
             ts=ctx.ts,
@@ -264,6 +422,13 @@ class TimeTravelDB:
             read_set=read_set,
             full_table_write=full_table_write,
         )
+        if (
+            self.write_hook is not None
+            and not ctx.repair
+            and result.kind != "select"
+        ):
+            self.write_hook(tt_result)
+        return tt_result
 
     # -- generations -----------------------------------------------------------------
 
@@ -276,6 +441,7 @@ class TimeTravelDB:
                 raise RepairError("time-travel is disabled; repair is impossible")
             self.repair_gen = self.current_gen + 1
             self._journal = RepairJournal()
+            self._flush_statement_cache()
             return self.repair_gen
 
     def finalize_repair(self) -> None:
@@ -288,6 +454,7 @@ class TimeTravelDB:
             self.current_gen = self.repair_gen
             self.repair_gen = None
             self._journal = None
+            self._flush_statement_cache()
 
     def abort_repair(self) -> None:
         """Discard the repair generation, restoring the pre-repair state.
@@ -326,6 +493,7 @@ class TimeTravelDB:
                         version.end_gen = INFINITY
         self.repair_gen = None
         self._journal = None
+        self._flush_statement_cache()
 
     # -- persistence ------------------------------------------------------------------
 
@@ -347,6 +515,7 @@ class TimeTravelDB:
         self.partition_analysis = state.get("partition_analysis", True)
         self.repair_gen = None
         self._journal = None
+        self._flush_statement_cache()
 
     # -- rollback -------------------------------------------------------------------
 
@@ -356,6 +525,7 @@ class TimeTravelDB:
             raise RepairError("rollback requires an active repair generation")
         table = self.database.table(table_name)
         with self._lock:
+            self._flush_statement_cache()
             return _rollback_row(
                 table, row_id, ts, self.current_gen, self.repair_gen, self._journal
             )
@@ -367,6 +537,7 @@ class TimeTravelDB:
         versions stranded in superseded generations (paper §4.2)."""
         removed = 0
         with self._lock:
+            self._flush_statement_cache()
             for table in self.database.tables.values():
                 for version in list(table.all_versions()):
                     if version.end_gen < self.current_gen:

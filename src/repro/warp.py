@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import threading
 from typing import Callable, Dict, Optional
 
 from repro.ahg.graph import ActionHistoryGraph
@@ -42,6 +43,7 @@ from repro.browser.extension import WarpExtension
 from repro.core.clock import LogicalClock
 from repro.core.ids import IdAllocator, random_token
 from repro.db.storage import Database
+from repro.http.cache import ResponseCache
 from repro.http.server import HttpServer
 from repro.repair.conflicts import Conflict, ConflictQueue
 from repro.core.errors import RepairError
@@ -76,9 +78,29 @@ class WarpSystem:
         online_gate: bool = False,
         gate_policy: str = "partition",
         admin_token: Optional[str] = None,
+        durability: Optional[str] = None,
+        wal_flush_interval: float = 0.002,
+        wal_flush_max_entries: int = 128,
+        wal_rotate_bytes: Optional[int] = None,
+        wal_rotate_snapshot: Optional[str] = None,
+        lock_mode: str = "striped",
+        response_cache: bool = False,
+        response_cache_entries: int = 1024,
+        statement_cache: bool = True,
     ) -> None:
         self.origin = origin
         self.enabled = enabled
+        #: Serving-path configuration (API.md "High-throughput serving").
+        #: ``durability=None`` defers to ``REPRO_WAL_DURABILITY``/"always".
+        self.durability = durability
+        self.wal_flush_interval = wal_flush_interval
+        self.wal_flush_max_entries = wal_flush_max_entries
+        self.wal_rotate_bytes = wal_rotate_bytes
+        self._wal_options = {
+            "durability": durability,
+            "flush_interval": wal_flush_interval,
+            "flush_max_entries": wal_flush_max_entries,
+        }
         #: Repair-group scheduling: "sequential" (default), "parallel", or
         #: "off" (monolithic reference worklist); see repro.repair.clusters.
         self.cluster_mode = cluster_mode
@@ -101,7 +123,15 @@ class WarpSystem:
                 )
         self.database = Database()
         self.ttdb = TimeTravelDB(self.database, self.clock, enabled=enabled)
-        self.graph = ActionHistoryGraph(RecordStore(wal=open_wal(wal_path)))
+        #: Read-through SELECT cache (repro.ttdb): on unless the deployment
+        #: opts out (the pre-group-commit baseline in benchmarks does).
+        self.statement_cache = statement_cache and enabled
+        self.ttdb.use_statement_cache = self.statement_cache
+        self.graph = ActionHistoryGraph(
+            RecordStore(
+                wal=open_wal(wal_path, **self._wal_options), lock_mode=lock_mode
+            )
+        )
         self.scripts = ScriptStore()
         self.runtime = AppRuntime(
             self.scripts, self.ttdb, self.clock, self.ids, rng=self.rng
@@ -113,6 +143,19 @@ class WarpSystem:
         self.network.register(origin, self.server.handle)
         self.conflicts = ConflictQueue()
         self.server.conflict_lookup = self.conflicts.pending_count
+        self.response_cache: Optional[ResponseCache] = None
+        if response_cache:
+            self.response_cache = ResponseCache(
+                self.runtime, self.graph, max_entries=response_cache_entries
+            )
+            self.server.response_cache = self.response_cache
+            # Invalidation fires at write-commit time, inside the TTDB
+            # statement lock (see repro.http.cache's concurrency contract).
+            self.ttdb.write_hook = self.response_cache.on_write
+        self._rotate_lock = threading.Lock()
+        self._rotate_snapshot_path = wal_rotate_snapshot
+        if wal_rotate_bytes is not None:
+            self._arm_rotation(wal_path)
         self.replay_config = replay_config if replay_config is not None else ReplayConfig()
         self.last_repair: Optional[RepairResult] = None
         #: Repair API v2 (see API.md): ``warp.repair.submit(spec)`` /
@@ -126,6 +169,39 @@ class WarpSystem:
         self._expected_script_versions: Dict[str, int] = {}
         if online_gate:
             self.enable_online_repair(policy=gate_policy)
+
+    def _arm_rotation(self, wal_path: Optional[str]) -> None:
+        """Install size-triggered WAL rotation: once the log grows past
+        ``wal_rotate_bytes`` appended bytes, the next acknowledged mutation
+        snapshots the whole system (which truncates the log) so reload
+        never replays an unbounded WAL."""
+        if self._rotate_snapshot_path is None:
+            if wal_path is None:
+                return
+            self._rotate_snapshot_path = wal_path + ".snapshot.json"
+        store = self.graph.store
+        store.rotate_bytes = self.wal_rotate_bytes
+        store.rotate_hook = self._rotate_wal
+
+    def _rotate_wal(self) -> None:
+        """Fired by the store after a mutation pushed the WAL past the
+        rotation bound (outside every store lock).  Non-blocking: if a
+        rotation is already running on another thread, or a repair is in
+        progress (``save`` refuses then), this acknowledgement skips —
+        the next one past the bound retries."""
+        if not self._rotate_lock.acquire(blocking=False):
+            return
+        try:
+            if self.ttdb.repair_gen is not None or self.server.repair_active:
+                return
+            try:
+                self.save(self._rotate_snapshot_path)
+            except RepairError:
+                # A repair began between the check and the save; the next
+                # acknowledged mutation retries the rotation.
+                pass
+        finally:
+            self._rotate_lock.release()
 
     def enable_online_repair(self, policy: str = "partition") -> RepairGate:
         """Install the partition-scoped write gate (repro.repair.gate):
@@ -288,6 +364,22 @@ class WarpSystem:
                 ),
                 "admin_token": self.server.admin_token,
             },
+            # Serving-path knobs survive reload the same way: a deployment
+            # tuned for group commit + caching keeps that envelope.
+            "serving_config": {
+                "durability": self.durability,
+                "wal_flush_interval": self.wal_flush_interval,
+                "wal_flush_max_entries": self.wal_flush_max_entries,
+                "wal_rotate_bytes": self.wal_rotate_bytes,
+                "lock_mode": self.graph.store.lock_mode,
+                "response_cache": self.response_cache is not None,
+                "response_cache_entries": (
+                    self.response_cache.max_entries
+                    if self.response_cache is not None
+                    else 1024
+                ),
+                "statement_cache": self.statement_cache,
+            },
         }
         self.graph.store.commit_snapshot(path, state)
 
@@ -321,10 +413,19 @@ class WarpSystem:
             return warp
         with open(path, "r", encoding="utf-8") as fh:
             state = json.load(fh)
+        serving = state.get("serving_config", {})
         warp = cls(
             origin=state["origin"],
             enabled=state["enabled"],
             replay_config=replay_config,
+            durability=serving.get("durability"),
+            wal_flush_interval=serving.get("wal_flush_interval", 0.002),
+            wal_flush_max_entries=serving.get("wal_flush_max_entries", 128),
+            wal_rotate_bytes=serving.get("wal_rotate_bytes"),
+            lock_mode=serving.get("lock_mode", "striped"),
+            response_cache=serving.get("response_cache", False),
+            response_cache_entries=serving.get("response_cache_entries", 1024),
+            statement_cache=serving.get("statement_cache", True),
         )
         warp.clock.restore(state["clock"])
         warp.ids.restore(state["ids"])
@@ -333,7 +434,13 @@ class WarpSystem:
         warp.ttdb.restore_state(state["ttdb"])
         warp.graph.restore_snapshot(state["graph"])
         if wal_path is not None:
-            warp.graph.store.replay_wal(wal_path, snapshot_id=state.get("snapshot_id"))
+            warp.graph.store.replay_wal(
+                wal_path,
+                snapshot_id=state.get("snapshot_id"),
+                wal_options=warp._wal_options,
+            )
+            if warp.wal_rotate_bytes is not None:
+                warp._arm_rotation(wal_path)
         warp._sync_id_counters()
         warp._sync_clock()
         warp.server.routes.update(state.get("routes", {}))

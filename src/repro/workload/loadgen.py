@@ -12,9 +12,11 @@ page) against ``HttpServer.handle``:
 * **inline mode** (``next_request``/``issue``): one deterministic request
   at a time, for the cooperative interleaving harness in the tests.
 
-Each request carries a unique ``marker`` parameter (ignored by reads,
-appended by writes), so "applied exactly once" is checkable by counting
-marker occurrences in page text afterwards.
+Each *write* carries a unique ``marker`` parameter appended to the page,
+so "applied exactly once" is checkable by counting marker occurrences in
+page text afterwards.  Reads are marker-free: identical GETs must stay
+byte-identical so the dependency-invalidated response cache
+(:mod:`repro.http.cache`) sees realistic repeat traffic.
 
 The driver is deliberately headerless-browser traffic: requests carry the
 ``X-Warp-Client`` correlation header but no visit/event logs, modelling
@@ -44,6 +46,9 @@ class LoadStats:
     rejected: int = 0  # 503
     errors: int = 0  # anything else
     latencies: List[float] = field(default_factory=list)
+    #: ``perf_counter`` completion time of every request, for warmup-
+    #: windowed sustained-throughput reporting (see :meth:`summary`).
+    completions: List[float] = field(default_factory=list)
     by_status: Dict[int, int] = field(default_factory=dict)
     tickets: List[int] = field(default_factory=list)
     #: (marker, page) of every issued write, for exactly-once checks.
@@ -63,9 +68,36 @@ class LoadStats:
         index = min(len(ordered) - 1, int(fraction * len(ordered)))
         return ordered[index]
 
+    def summary(self, warmup: float = 0.0) -> Dict[str, float]:
+        """Headline numbers for one run: sustained req/s measured over the
+        post-warmup window (the first ``warmup`` seconds of completions are
+        excluded, so cold caches / lazily started flusher threads don't
+        flatter or penalize the figure) plus p50/p95/p99 latency over all
+        requests.  Falls back to the full window when warmup would consume
+        every completion."""
+        result = {
+            "total": float(self.total),
+            "served": float(self.served),
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p95_ms": self.percentile(0.95) * 1e3,
+            "p99_ms": self.percentile(0.99) * 1e3,
+            "sustained_rps": 0.0,
+        }
+        if not self.completions:
+            return result
+        ordered = sorted(self.completions)
+        cut = ordered[0] + warmup
+        window = [t for t in ordered if t >= cut]
+        if len(window) < 2:
+            window = ordered
+        if len(window) >= 2 and window[-1] > window[0]:
+            result["sustained_rps"] = (len(window) - 1) / (window[-1] - window[0])
+        return result
+
     def note(self, response: HttpResponse, seconds: float) -> None:
         self.by_status[response.status] = self.by_status.get(response.status, 0) + 1
         self.latencies.append(seconds)
+        self.completions.append(_time.perf_counter())
         if response.status == 202 and "X-Warp-Queued" in response.headers:
             self.queued += 1
             self.tickets.append(int(response.headers["X-Warp-Queued"]))
@@ -82,6 +114,7 @@ class LoadStats:
         self.rejected += other.rejected
         self.errors += other.errors
         self.latencies.extend(other.latencies)
+        self.completions.extend(other.completions)
         self.tickets.extend(other.tickets)
         self.writes.extend(other.writes)
         for status, count in other.by_status.items():
@@ -188,19 +221,15 @@ class LoadGen:
         client = rng.choice(clients if clients is not None else self.clients)
         page = rng.choice(self._pages_of[client.client_id])
         op = rng.choice(self._ops)
-        marker = f"mk{self._next_marker()}."
         if op == "append":
+            marker = f"mk{self._next_marker()}."
             stats.writes.append((marker, page))
             return client, client.request(
                 "POST", "/edit.php", {"title": page, "append": f"\n{marker}"}
             )
         if op == "index":
-            return client, client.request(
-                "GET", "/index.php", {"title": page, "marker": marker}
-            )
-        return client, client.request(
-            "GET", "/edit.php", {"title": page, "marker": marker}
-        )
+            return client, client.request("GET", "/index.php", {"title": page})
+        return client, client.request("GET", "/edit.php", {"title": page})
 
     def issue(
         self,

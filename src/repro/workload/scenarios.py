@@ -50,9 +50,14 @@ class WikiDeployment:
         seed: int = 0,
         enabled: bool = True,
         replay_config: Optional[ReplayConfig] = None,
+        **warp_kwargs,
     ) -> None:
         self.warp = WarpSystem(
-            origin=WIKI, seed=seed, enabled=enabled, replay_config=replay_config
+            origin=WIKI,
+            seed=seed,
+            enabled=enabled,
+            replay_config=replay_config,
+            **warp_kwargs,
         )
         #: "No WARP" deployments also drop the client-side extension.
         self.default_extension = enabled
@@ -277,6 +282,7 @@ def run_multi_tenant_scenario(
     attacked_tenants: int = 1,
     edits_per_user: int = 1,
     seed: int = 0,
+    **warp_kwargs,
 ) -> MultiTenantOutcome:
     """Stage a multi-tenant wiki whose tenants never touch each other's
     partitions, then an attack on ``attacked_tenants`` of them.
@@ -297,7 +303,7 @@ def run_multi_tenant_scenario(
     import time as _time
 
     started = _time.perf_counter()
-    deployment = WikiDeployment(n_users=0, seed=seed)
+    deployment = WikiDeployment(n_users=0, seed=seed, **warp_kwargs)
     outcome = MultiTenantOutcome(
         deployment=deployment,
         n_tenants=n_tenants,

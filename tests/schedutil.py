@@ -76,10 +76,13 @@ def scripted_ops(
                 headers={"X-Warp-Client": f"{name}-load"},
             )
         else:
+            # Reads are marker-free: repeat GETs must be byte-identical so
+            # the response cache sees realistic repeat traffic (and cached
+            # vs uncached runs can be compared op-for-op).
             request = HttpRequest(
                 "GET",
                 "/edit.php",
-                params={"title": page, "marker": f"op{index}"},
+                params={"title": page},
                 cookies=dict(cookies[name]),
                 headers={"X-Warp-Client": f"{name}-load"},
             )

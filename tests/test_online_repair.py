@@ -37,7 +37,7 @@ from schedutil import CoopSchedule, scripted_ops
 # ---------------------------------------------------------------------------
 
 
-def _stage(seed, n_tenants=3, users=1, edits=1, n_load_clients=None):
+def _stage(seed, n_tenants=3, users=1, edits=1, n_load_clients=None, **warp_kwargs):
     """A multi-tenant deployment plus logged-in load clients (one per
     tenant by default, pinned to that tenant's page)."""
     outcome = run_multi_tenant_scenario(
@@ -46,6 +46,7 @@ def _stage(seed, n_tenants=3, users=1, edits=1, n_load_clients=None):
         attacked_tenants=1,
         edits_per_user=edits,
         seed=seed,
+        **warp_kwargs,
     )
     warp = outcome.warp
     names = [f"lg{i}" for i in range(n_load_clients or n_tenants)]
@@ -379,10 +380,10 @@ def _counts(result):
     )
 
 
-def _online_run(seed):
+def _online_run(seed, **warp_kwargs):
     rng = random.Random(seed * 6151 + 7)
     shape = {"n_tenants": rng.randint(2, 4), "users": 1, "edits": rng.randint(1, 2)}
-    outcome, clients, cookies, pages, names = _stage(seed, **shape)
+    outcome, clients, cookies, pages, names = _stage(seed, **shape, **warp_kwargs)
     warp = outcome.warp
     warp.enable_online_repair()
     ops = scripted_ops(
@@ -436,6 +437,54 @@ def test_online_repair_equivalent_to_quiesced(seed):
     assert online.warp.graph.store.pending_gate_queue == {}
     gate_stats = online_result.stats.gate
     assert gate_stats["applied"] == gate_stats["queued"]
+
+
+# ---------------------------------------------------------------------------
+# cached ≡ uncached under randomized repair interleavings (PR 6 satellite)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_cached_serving_equivalent_to_uncached(seed):
+    """The response cache must be invisible to the repair equivalence
+    property: the same seeded read/write/repair interleaving, replayed on
+    a deployment with the response cache enabled, produces byte-identical
+    responses, the same canonical graph records, and the same final
+    version store as the cache-disabled run.  A hit draws run/query
+    identity in uncached order and a cache flush brackets the repair, so
+    even the raw id streams line up — but we compare canonically anyway
+    so a future id-allocation change can't silently weaken the test."""
+    shape_p, plain, plain_result, plain_sched, plain_responses = _online_run(seed)
+    shape_c, cached, cached_result, cached_sched, cached_responses = _online_run(
+        seed, response_cache=True
+    )
+    assert shape_p == shape_c
+    assert plain_result.ok and cached_result.ok
+    # Same deterministic interleaving on both arms: the cooperative
+    # schedule is a pure function of the seed, so op-for-op comparison
+    # is meaningful.
+    assert [op.index for op in plain_sched.serialization()] == [
+        op.index for op in cached_sched.serialization()
+    ]
+    assert cached_responses == plain_responses, "a cached response diverged"
+    assert _counts(cached_result) == _counts(plain_result)
+    assert _canonical_db(cached.warp) == _canonical_db(plain.warp), (
+        "final version stores diverged with the response cache on"
+    )
+    assert _canonical_graph(cached.warp.graph) == _canonical_graph(plain.warp.graph), (
+        "graph records diverged with the response cache on"
+    )
+    assert cached.warp.graph.store.pending_gate_queue == {}
+
+
+def test_cached_interleavings_exercise_the_hit_path():
+    """Across the 20 equivalence seeds the cache must actually serve hits
+    — otherwise the sweep silently degenerates into 20 uncached runs."""
+    hits = 0
+    for seed in range(20):
+        _, outcome, _, _, _ = _online_run(seed, response_cache=True)
+        hits += outcome.warp.response_cache.stats()["hits"]
+    assert hits > 0
 
 
 # ---------------------------------------------------------------------------
