@@ -19,6 +19,13 @@ class UniqueViolation(StorageError):
     """An INSERT or UPDATE would violate a uniqueness constraint."""
 
 
+class DurabilityError(ReproError):
+    """A journaled mutation could not be made durable (WAL write/fsync
+    failure or a timed-out group commit).  The mutation is applied in
+    memory but MUST NOT be acknowledged to the client: the serving layer
+    answers 503 and flips to degraded read-only mode."""
+
+
 class RepairError(ReproError):
     """Raised when the repair controller cannot make progress."""
 

@@ -37,6 +37,7 @@ from collections import OrderedDict, deque
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ahg.records import AppRunRecord, replay_clone
+from repro.faults.plane import active as _active_plane
 from repro.http.message import HttpRequest
 
 #: How many committed writes ``put`` can look back across; a fill whose
@@ -112,6 +113,7 @@ class ResponseCache:
     def __init__(self, runtime, graph, max_entries: int = 1024) -> None:
         self.runtime = runtime
         self.graph = graph
+        self.faults = _active_plane()
         self.max_entries = max_entries
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
@@ -224,6 +226,10 @@ class ResponseCache:
         """Cache a just-executed run.  Refused if any write committed since
         ``token`` intersects the run's read footprint (the run may have
         read pre-write data) or if the token has aged out of the window."""
+        # Fired before any cache mutation: an injected failure leaves the
+        # cache untouched and the served response unaffected (the server
+        # swallows fill errors).
+        self.faults.fire("cache.fill", script=script_name)
         key = (script_name,) + request.key()
         index_keys: Set[Tuple[str, str, object]] = set()
         tables: Set[str] = set()

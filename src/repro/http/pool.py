@@ -14,6 +14,8 @@ import queue
 import threading
 from typing import List, Optional
 
+from repro.faults.plane import FaultPlane
+from repro.faults.plane import active as _active_plane
 from repro.http.message import HttpRequest, HttpResponse
 
 #: What an overloaded pool answers: transient, back off briefly.
@@ -55,12 +57,19 @@ class PendingResponse:
 class ServerPool:
     """Fixed worker threads + bounded queue in front of ``server.handle``."""
 
-    def __init__(self, server, workers: int = 8, queue_depth: int = 64) -> None:
+    def __init__(
+        self,
+        server,
+        workers: int = 8,
+        queue_depth: int = 64,
+        fault_plane: Optional[FaultPlane] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("pool needs at least one worker")
         if queue_depth < 1:
             raise ValueError("queue depth must be positive")
         self.server = server
+        self.faults = fault_plane if fault_plane is not None else _active_plane()
         self.queue_depth = queue_depth
         self._queue: "queue.Queue[Optional[PendingResponse]]" = queue.Queue(
             maxsize=queue_depth
@@ -81,6 +90,11 @@ class ServerPool:
             if pending is None:
                 return
             try:
+                # Injected faults here surface to the *waiter* through the
+                # future, like any handler error: the worker thread itself
+                # must survive every fault storm (acceptance: zero crashed
+                # serving threads).
+                self.faults.fire("pool.dispatch")
                 pending._resolve(self.server.handle(pending.request))
             except BaseException as exc:  # surfaced to the waiter
                 pending._resolve(None, exc)
@@ -102,6 +116,17 @@ class ServerPool:
     def handle(self, request: HttpRequest, timeout: Optional[float] = None) -> HttpResponse:
         """Synchronous convenience: submit and wait."""
         return self.submit(request).wait(timeout)
+
+    def stats(self) -> dict:
+        """Pool-depth snapshot for the health endpoint."""
+        return {
+            "workers": len(self._workers),
+            "alive_workers": sum(1 for w in self._workers if w.is_alive()),
+            "queue_depth": self.queue_depth,
+            "queued": self._queue.qsize(),
+            "rejected": self.rejected,
+            "closed": self._closed,
+        }
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop accepting work, drain the queue, and join the workers."""

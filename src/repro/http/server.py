@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.ahg.graph import ActionHistoryGraph
 from repro.appserver.runtime import AppRuntime
+from repro.core.errors import DurabilityError
 from repro.http.message import HttpRequest, HttpResponse
 
 if TYPE_CHECKING:
@@ -67,6 +68,12 @@ class HttpServer:
         self.admin_prefix = "/warp/admin"
         #: When set, admin requests must carry it in X-Warp-Admin-Token.
         self.admin_token: Optional[str] = None
+        #: Degraded-mode state machine (repro.faults.health.HealthMonitor),
+        #: installed by WarpSystem.  When set, non-GET requests are refused
+        #: with 503 while the system is read-only, and durability failures
+        #: on the recording path flip the mode instead of crashing the
+        #: serving thread.
+        self.health = None
         #: Switch-window drain bound (instance-level so tests can shrink it).
         self.switch_wait_seconds = _SWITCH_WAIT_SECONDS
         #: Requests currently executing (drained before a generation switch).
@@ -205,6 +212,16 @@ class HttpServer:
         if script_name is None:
             return HttpResponse(status=404, body=f"no route for {request.path}")
 
+        # Degraded read-only mode: writes are refused before any side
+        # effect (gate queueing included); reads flow on.  The health
+        # monitor probes for healing first, so this is also the exit path
+        # back to normal mode once the storage fault clears.
+        health = self.health
+        if health is not None and request.method != "GET":
+            refusal = health.admit_write(request)
+            if refusal is not None:
+                return refusal
+
         # Online repair: a request whose footprint overlaps the partitions
         # (or clients) under repair is queued for ordered re-application
         # after the generation switch.  The check precedes every side
@@ -248,7 +265,10 @@ class HttpServer:
             hit = cache.begin_hit(script_name, request)
             if hit is not None:
                 record, base_run_id = hit
-                self.graph.add_replayed_run(record, base_run_id)
+                try:
+                    self.graph.add_replayed_run(record, base_run_id)
+                except DurabilityError as exc:
+                    return self._durability_failure(exc)
                 return record.response
             token = cache.write_token()
 
@@ -269,7 +289,10 @@ class HttpServer:
             response.headers["X-Warp-Conflicts"] = str(pending_conflicts)
 
         if self.recording:
-            self.graph.add_run(record)
+            try:
+                self.graph.add_run(record)
+            except DurabilityError as exc:
+                return self._durability_failure(exc)
             if self._repair_active:
                 # Under striped store locks nothing serializes concurrent
                 # handlers here, so the once GIL-atomic bare append moved
@@ -278,5 +301,26 @@ class HttpServer:
                     if self._repair_active:
                         self.pending_during_repair.append(record.run_id)
             if use_cache and cache.cacheable(record):
-                cache.put(script_name, request, record, token)
+                try:
+                    cache.put(script_name, request, record, token)
+                except Exception:
+                    # A failed fill must not fail a request the client
+                    # already has an answer for; the cache stays cold.
+                    pass
         return response
+
+    def _durability_failure(self, exc: DurabilityError) -> HttpResponse:
+        """The run executed but its journal entry is not on disk: refuse
+        to acknowledge it and flip serving to read-only.  The serving
+        thread survives — this is the 503, not a crash."""
+        if self.health is not None:
+            self.health.on_durability_error(exc)
+        return HttpResponse(
+            status=503,
+            body=(
+                "request executed but its history record could not be made "
+                f"durable ({exc}); not acknowledged — retry after the "
+                "storage fault clears"
+            ),
+            headers={"Retry-After": "1", "X-Warp-Degraded": "durability"},
+        )

@@ -57,6 +57,7 @@ from repro.core.errors import RepairCanceled, RepairError
 from repro.core.ids import IdAllocator
 from repro.db.sql import ast
 from repro.db.sql.parser import parse
+from repro.faults.plane import active as _active_plane
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.server import HttpServer
 from repro.repair.clusters import (
@@ -172,6 +173,8 @@ class RepairController:
         self.clock = clock
         self.ids = ids
         self.replayer = BrowserReplayer(self, replay_config)
+        #: Fault plane (repro.faults); WarpSystem points this at its own.
+        self.faults = _active_plane()
 
         #: Union of every group's modified partitions (the repair-wide
         #: view used by finalize-time input-change checks and pruning).
@@ -222,6 +225,11 @@ class RepairController:
         self.cancel_requested = False
 
     def _emit(self, event: str, **payload) -> None:
+        # Phase boundaries are fault points: an injected failure here
+        # models the repair worker dying between phases, and unwinds
+        # through repair_batch's abort/unwind path like any other error
+        # (listeners below stay unable to break a repair).
+        self.faults.fire("repair." + event)
         for listener in self.listeners:
             try:
                 listener(event, payload)

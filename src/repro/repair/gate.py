@@ -45,6 +45,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.faults.plane import active as _active_plane
 from repro.http.message import HttpRequest, HttpResponse
 from repro.ttdb.partitions import _ParamToken, _SafetyFlag, read_partitions
 
@@ -426,6 +427,8 @@ class RepairGate:
         self.ttdb = ttdb
         self.graph = graph
         self.policy = policy
+        #: Fault plane (repro.faults); WarpSystem points this at its own.
+        self.faults = _active_plane()
         self.footprints = FootprintIndex(graph, ttdb)
         self.stats = GateStats()
         self.active = False
@@ -546,6 +549,13 @@ class RepairGate:
         with that client's new writes and lose an update.  The gate turns
         off exactly when the queue is observed empty.
         """
+        with self._lock:
+            if not self.queue:
+                self.active = False
+                return None
+        # Fired *before* popping: a non-crash injected failure leaves the
+        # entry queued (and journaled), so retrying the drain loses nothing.
+        self.faults.fire("gate.reapply")
         with self._lock:
             if not self.queue:
                 self.active = False

@@ -41,7 +41,13 @@ from collections import deque
 from dataclasses import replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.errors import RepairCanceled, RepairError, ReproError
+from repro.core.errors import (
+    DurabilityError,
+    RepairCanceled,
+    RepairError,
+    ReproError,
+)
+from repro.faults.plane import InjectedFault, SimulatedCrash
 from repro.http.message import HttpRequest, HttpResponse
 from repro.repair.api import (
     CancelClientSpec,
@@ -380,26 +386,76 @@ class RepairJobManager:
             self._executing_thread = threading.current_thread()
             job._status = "running"
         store = self._warp.graph.store
-        store.log_repair_job_start(
-            job.job_id, job.spec.describe(), self._warp.clock.now()
-        )
         try:
-            result = self._execute(job)
-        except RepairCanceled as exc:
-            job._settle("canceled", error=exc)
-            store.log_repair_job_end(job.job_id, "canceled")
+            store.log_repair_job_start(
+                job.job_id, job.spec.describe(), self._warp.clock.now()
+            )
+            self._run_with_retry(job, store)
+        except SimulatedCrash:
+            # Injected process death mid-repair.  Deliberately NO job-end
+            # journal entry: a reloaded deployment must report this job as
+            # interrupted (paper §6.2 — the admin is told what was
+            # mid-repair).  Settle so in-process waiters unblock.
+            job._settle("failed", error=RepairError("process crashed mid-repair"))
         except BaseException as exc:
+            # Start-journaling failure (sick log) or anything else the
+            # retry loop does not own: the waiter must still unblock.
             job._settle("failed", error=exc)
-            store.log_repair_job_end(job.job_id, "failed")
-        else:
-            status = "aborted" if result.aborted else "done"
-            job._settle(status, result=result)
-            store.log_repair_job_end(job.job_id, status)
+            self._log_job_end(store, job.job_id, "failed")
         finally:
             with self._turnstile:
                 self._executing = None
                 self._executing_thread = None
                 self._turnstile.notify_all()
+
+    def _run_with_retry(self, job: RepairJob, store) -> None:
+        """Execute ``job``, retrying transient faults up to the system's
+        ``repair_retry_limit``.  Each failed attempt has already unwound
+        through the controller's abort path (generation discarded, scripts
+        restored), so a retry starts from clean state."""
+        attempts = 0
+        while True:
+            try:
+                result = self._execute(job)
+            except RepairCanceled as exc:
+                job._settle("canceled", error=exc)
+                self._log_job_end(store, job.job_id, "canceled")
+                return
+            except (DurabilityError, OSError, InjectedFault) as exc:
+                # Transient storage-layer faults: the repair aborted and
+                # unwound; retry unless the budget is spent or the admin
+                # asked for cancellation in the meantime.
+                attempts += 1
+                limit = getattr(self._warp, "repair_retry_limit", 0)
+                if attempts <= limit and not job._cancel_requested:
+                    job._on_event(
+                        "retrying",
+                        {"attempt": attempts, "limit": limit, "error": repr(exc)},
+                    )
+                    continue
+                job._settle("failed", error=exc)
+                self._log_job_end(store, job.job_id, "failed")
+                return
+            except Exception as exc:
+                job._settle("failed", error=exc)
+                self._log_job_end(store, job.job_id, "failed")
+                return
+            else:
+                status = "aborted" if result.aborted else "done"
+                job._settle(status, result=result)
+                self._log_job_end(store, job.job_id, status)
+                return
+
+    @staticmethod
+    def _log_job_end(store, job_id: str, status: str) -> None:
+        """Journal the job end; a sick log must not turn a settled job
+        outcome into an escaped exception.  The entry stays parked in the
+        WAL and is flushed by ``heal()`` — and if the process dies first,
+        the job is correctly reported as interrupted on reload."""
+        try:
+            store.log_repair_job_end(job_id, status)
+        except (DurabilityError, OSError):
+            pass
 
     def _execute(self, job: RepairJob) -> RepairResult:
         warp = self._warp
@@ -468,6 +524,14 @@ class AdminApi:
         GET  /warp/admin/repair/<id>/preview  dry-run the job's spec
         POST /warp/admin/repair/<id>/cancel   cooperative cancel
         GET  /warp/admin/conflicts            pending conflict queue
+        GET  /warp/admin/health               serving mode, WAL lag, pool
+                                              depth, last fault (503 body
+                                              while degraded)
+
+    While the system is degraded (read-only serving after a durability
+    failure), mutating admin requests are refused with a structured 503
+    carrying the current health document — except ``cancel``, which an
+    operator needs precisely when things are going wrong.
 
     Admin requests are control plane: never recorded into the action
     history graph, never gated (status polls must work *during* a
@@ -496,6 +560,31 @@ class AdminApi:
 
     def _route(self, request: HttpRequest, tail: str) -> HttpResponse:
         manager = self._manager
+        health = getattr(manager._warp, "health", None)
+        if tail == "/health":
+            if request.method != "GET":
+                return _error(405, "health is GET")
+            if health is None:
+                return _error(404, "no health monitor on this deployment")
+            doc = health.to_dict()
+            return _json_response(doc, 200 if doc["mode"] == "normal" else 503)
+        if (
+            request.method == "POST"
+            and health is not None
+            and not tail.endswith("/cancel")
+        ):
+            # Probe-on-write, same as the serving path: a cleared fault
+            # heals here instead of bouncing the operator.
+            health.try_heal()
+            if health.mode != "normal":
+                return _json_response(
+                    {
+                        "error": "system is degraded (read-only); "
+                        "mutating admin operations are refused",
+                        "health": health.to_dict(),
+                    },
+                    503,
+                )
         if tail == "/repair":
             if request.method == "POST":
                 spec = self._spec_from(request)

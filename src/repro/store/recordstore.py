@@ -39,8 +39,10 @@ from repro.ahg.records import (
     VisitRecord,
     replay_clone,
 )
-from repro.core.errors import ReproError
+from repro.core.errors import DurabilityError, ReproError
 from repro.core.serialize import write_json_atomically
+from repro.faults.plane import FaultPlane
+from repro.faults.plane import active as _active_plane
 from repro.http.message import HttpRequest
 from repro.store.wal import CommitTicket, RecordWal
 
@@ -181,8 +183,12 @@ class RecordStore:
     """Primary record maps plus the secondary indexes repair relies on."""
 
     def __init__(
-        self, wal: Optional[RecordWal] = None, lock_mode: str = "striped"
+        self,
+        wal: Optional[RecordWal] = None,
+        lock_mode: str = "striped",
+        fault_plane: Optional[FaultPlane] = None,
     ) -> None:
+        self.faults = fault_plane if fault_plane is not None else _active_plane()
         self.runs: Dict[int, AppRunRecord] = {}
         #: Run ids in append order (replacement preserves position).
         self._run_order: List[int] = []
@@ -269,6 +275,17 @@ class RecordStore:
         #: deployment and truncates the log.
         self.rotate_bytes: Optional[int] = None
         self.rotate_hook = None
+        #: Degraded read-only serving (health monitor): journal entries
+        #: that cannot reach disk are parked in the WAL instead of raising
+        #: — read-path bookkeeping (visit logs, cache-hit clones) keeps
+        #: flowing while writes are refused upstream.  ``_finish`` counts
+        #: the entries it let through unsynced so the operator can see the
+        #: exposure on the health endpoint.
+        self.relaxed_durability = False
+        #: Optional bound on how long ``_finish`` waits for a group commit
+        #: before declaring the mutation non-durable.
+        self.durability_timeout: Optional[float] = None
+        self.unsynced_mutations = 0
 
     @property
     def lock(self) -> threading.RLock:
@@ -281,14 +298,43 @@ class RecordStore:
 
     # -- commit plumbing ----------------------------------------------------
 
-    def _finish(self, ticket: Optional[CommitTicket]) -> None:
+    def _finish(
+        self, ticket: Optional[CommitTicket], relaxed: Optional[bool] = None
+    ) -> None:
         """Wait (outside every stripe) until the mutation's journal entry
         is durable, then fire size-triggered rotation if the log has grown
         past its bound.  With group commit this wait is where concurrent
-        writers share one fsync; the stripes are never held across it."""
+        writers share one fsync; the stripes are never held across it.
+
+        A False from ``wait`` — timed-out group commit, closed log, or a
+        write parked behind a disk failure — means the entry is NOT on
+        disk: the mutation must not be acknowledged, so this raises
+        :class:`DurabilityError` (unless the store is in relaxed mode,
+        where the health monitor has already flipped serving read-only
+        and parked entries will be re-synced by ``heal``).
+
+        ``relaxed`` is the caller's snapshot of ``relaxed_durability``
+        taken *before* journaling.  The WAL's degrade callback fires from
+        inside the failing append, so by the time the triggering
+        mutation's wait returns False the live flag is already True —
+        reading it here would falsely acknowledge the very write that
+        broke the log.  Degradation only excuses mutations that started
+        after it."""
         if ticket is None:
             return
-        ticket.wait()
+        if relaxed is None:
+            relaxed = self.relaxed_durability
+        if not ticket.wait(self.durability_timeout):
+            self.unsynced_mutations += 1
+            if not relaxed:
+                wal = self.wal
+                detail = "group commit timed out or log closed"
+                if wal is not None and wal.last_error is not None:
+                    detail = repr(wal.last_error)
+                raise DurabilityError(
+                    f"journal entry did not reach disk ({detail}); "
+                    "mutation applied in memory but not acknowledged"
+                )
         wal = self.wal
         if (
             self.rotate_hook is not None
@@ -301,7 +347,11 @@ class RecordStore:
     # ------------------------------------------------------------------ writes
 
     def add_run(self, run: AppRunRecord) -> None:
-        self._finish(self._add_run_nowait(run))
+        # Snapshot relaxed mode before journaling: this is the write-ack
+        # path, and the append below may itself be the one that trips the
+        # WAL into the failed state (see _finish).
+        relaxed = self.relaxed_durability
+        self._finish(self._add_run_nowait(run), relaxed)
 
     def _add_run_nowait(self, run: AppRunRecord) -> Optional[CommitTicket]:
         with self._records_lock:
@@ -313,6 +363,7 @@ class RecordStore:
         return None
 
     def _insert_run(self, run: AppRunRecord) -> None:
+        self.faults.fire("store.insert_run", run_id=run.run_id)
         self.runs[run.run_id] = run
         self._run_order.append(run.run_id)
         self.query_count += len(run.queries)
@@ -337,12 +388,13 @@ class RecordStore:
     def add_runs(self, runs: Iterable[AppRunRecord]) -> None:
         """Bulk append: journal every run, wait once on the last ticket —
         under group commit a whole batch shares one fsync."""
+        relaxed = self.relaxed_durability
         last = None
         for run in runs:
             ticket = self._add_run_nowait(run)
             if ticket is not None:
                 last = ticket
-        self._finish(last)
+        self._finish(last, relaxed)
 
     def add_replayed_run(self, run: AppRunRecord, base_run_id: int) -> None:
         """Record a response-cache hit's synthetic run (see
@@ -897,13 +949,32 @@ class RecordStore:
             )
             payload["snapshot_id"] = snapshot_id
             if self.wal is not None:
-                self.wal.append("snapshot_marker", {"snapshot_id": snapshot_id}).wait()
+                marker = self.wal.append(
+                    "snapshot_marker", {"snapshot_id": snapshot_id}
+                )
+                if not marker.wait(self.durability_timeout):
+                    # A snapshot whose pre-write marker is not on disk must
+                    # not be written: recovery could not tie the truncated
+                    # WAL to it.  Abort before touching the snapshot file.
+                    raise DurabilityError(
+                        "snapshot marker did not reach the log; snapshot aborted"
+                    )
+            self.faults.fire("store.snapshot", path=path)
             write_json_atomically(path, payload)
             if self.wal is not None:
                 self.wal.truncate()
                 # Waited durable so the truncated WAL is never observable
-                # without the marker tying it to this snapshot.
-                self.wal.append("snapshot_marker", {"snapshot_id": snapshot_id}).wait()
+                # without the marker tying it to this snapshot.  truncate()
+                # resets a failed log, so a False here is a fresh failure:
+                # the snapshot file is already written and valid, but the
+                # caller must know the log is sick again.
+                marker = self.wal.append(
+                    "snapshot_marker", {"snapshot_id": snapshot_id}
+                )
+                if not marker.wait(self.durability_timeout):
+                    raise DurabilityError(
+                        "post-truncate snapshot marker did not reach the log"
+                    )
         return snapshot_id
 
     @classmethod

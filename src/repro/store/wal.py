@@ -15,8 +15,8 @@ is re-run under group commit):
   conservative reference.
 * ``group``  — appends are buffered; ``append`` returns a
   :class:`CommitTicket` and an entry is only *durable* once its ticket's
-  ``wait()`` returns.  Commit is **leader-based**: the first waiter to
-  take the I/O lock writes and fsyncs the whole buffer — its own entry
+  ``wait()`` returns True.  Commit is **leader-based**: the first waiter
+  to take the I/O lock writes and fsyncs the whole buffer — its own entry
   plus every concurrent committer's — inline, and the followers it
   covered wake durable.  A lone committer therefore pays exactly one
   inline fsync (``always`` latency, no thread handoff), while N
@@ -32,6 +32,24 @@ The record store waits on every ticket before acknowledging a mutation to
 its caller, so *acknowledged* durability is identical across modes; only
 the fsync schedule differs.
 
+Failure model (see DESIGN.md "Failure model").  ``append`` never raises
+I/O errors.  A write or fsync failure is first retried with capped
+exponential backoff (``io_retries`` × ``io_backoff``); if the disk stays
+sick the affected lines are **parked** in memory, the log is marked
+``failed``, and — escalation ladder, middle rung — ``group`` durability
+escalates to ``always`` so every subsequent append probes the disk
+inline instead of batching behind a broken leader.  Parked entries make
+their tickets' ``wait()`` return False, which the record store surfaces
+as a :class:`~repro.core.errors.DurabilityError` (top rung: the serving
+layer flips to read-only).  ``heal()`` truncates any torn garbage back
+to the last known-good byte, replays the parked lines through the normal
+write path, and restores the configured durability — self-healing once
+the fault clears.
+
+Fault points fired here: ``wal.append`` (before each physical write) and
+``wal.fsync`` (before each fsync).  A ``torn`` fault persists a prefix
+of the payload and then simulates process death.
+
 The log is deliberately dumb: no framing beyond newlines, no checksums.
 A torn final line (crash mid-write) is skipped on replay rather than
 aborting recovery.
@@ -43,7 +61,11 @@ import json
 import os
 import threading
 from time import monotonic as _monotonic
-from typing import Iterator, List, Optional, Tuple
+from time import sleep as _sleep
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+from repro.faults.plane import FaultPlane, SimulatedCrash, TornWrite
+from repro.faults.plane import active as _active_plane
 
 _DURABILITY_MODES = ("always", "group", "none")
 
@@ -53,8 +75,8 @@ _COMPACT = (",", ":")
 
 class CommitTicket:
     """Handle for one appended entry; ``wait()`` blocks until the entry is
-    durable per the log's policy.  Tickets from ``always``/``none`` logs
-    (and from a detached store) are pre-resolved."""
+    durable per the log's policy.  Tickets from a detached store are
+    pre-resolved."""
 
     __slots__ = ("seq", "_wal")
 
@@ -63,7 +85,10 @@ class CommitTicket:
         self._wal = wal
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        """Block until durable; returns False only on timeout."""
+        """Block until durable.  Returns False when the entry cannot be
+        made durable: a timed-out group commit, a closed log, or a write
+        parked behind a disk failure.  Callers MUST NOT acknowledge the
+        mutation on False (see ``RecordStore._finish``)."""
         if self._wal is None:
             return True
         return self._wal.wait_durable(self.seq, timeout)
@@ -73,12 +98,13 @@ class CommitTicket:
         return self._wal is None or self._wal.is_durable(self.seq)
 
 
-#: Shared pre-resolved ticket for inline-durable appends.
+#: Shared pre-resolved ticket (detached stores, tests).
 _RESOLVED = CommitTicket(0, None)
 
 
 class RecordWal:
-    """Append-only JSONL durability log with optional group commit."""
+    """Append-only JSONL durability log with group commit, deterministic
+    fault injection, and parked-write self-healing."""
 
     def __init__(
         self,
@@ -86,6 +112,10 @@ class RecordWal:
         durability: Optional[str] = None,
         flush_interval: float = 0.002,
         flush_max_entries: int = 128,
+        fault_plane: Optional[FaultPlane] = None,
+        io_retries: int = 2,
+        io_backoff: float = 0.0005,
+        io_backoff_cap: float = 0.05,
     ) -> None:
         if durability is None:
             durability = os.environ.get("REPRO_WAL_DURABILITY", "always")
@@ -95,8 +125,16 @@ class RecordWal:
             )
         self.path = path
         self.durability = durability
+        #: The policy asked for at construction; ``durability`` may be
+        #: escalated (group → always) while the log is failed and is
+        #: restored to this on heal/truncate.
+        self.configured_durability = durability
         self.flush_interval = flush_interval
         self.flush_max_entries = flush_max_entries
+        self.faults = fault_plane if fault_plane is not None else _active_plane()
+        self.io_retries = io_retries
+        self.io_backoff = io_backoff
+        self.io_backoff_cap = io_backoff_cap
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -108,6 +146,10 @@ class RecordWal:
         #: Bytes appended since open/truncate — the store's size-triggered
         #: rotation watches this, not the file (truncate resets it).
         self.appended_bytes = 0
+        #: Byte offset of the last known-good end of file.  Failed writes
+        #: may leave partial garbage past it; retries and ``heal`` truncate
+        #: back to it before rewriting (JSON is ASCII, so str len == bytes).
+        self._good_size = os.path.getsize(path)
 
         # Group-commit state.  Lock order: _io_lock before _lock.  Every
         # committer (leader or flusher) captures the buffer *under the I/O
@@ -117,11 +159,23 @@ class RecordWal:
         self._flush_cond = threading.Condition(self._lock)
         self._durable_cond = threading.Condition(self._lock)
         self._io_lock = threading.RLock()
-        self._buffer: List[str] = []
+        self._buffer: List[Tuple[int, str]] = []
         self._next_seq = 1
         self._durable_seq = 0
         self._closed = False
         self._flusher: Optional[threading.Thread] = None
+
+        # Degradation state (guarded by _lock unless noted).
+        self.failed = False
+        self.last_error: Optional[BaseException] = None
+        self._parked: List[Tuple[int, str]] = []
+        self._parked_seqs: Set[int] = set()
+        #: Called (outside ``_lock``) when the log first enters the failed
+        #: state; the health monitor uses it to flip serving to read-only.
+        self.on_degrade: Optional[Callable[[BaseException], None]] = None
+        self.retried_writes = 0
+        self.degraded_events = 0
+        self.healed_events = 0
 
     # ------------------------------------------------------------------ append
 
@@ -129,20 +183,37 @@ class RecordWal:
         line = json.dumps({"kind": kind, "data": data}, separators=_COMPACT) + "\n"
         if self.durability != "group":
             with self._io_lock:
-                self._fh.write(line)
-                self._fh.flush()
-                if self.durability == "always":
-                    # flush() only reaches the OS page cache; acknowledged
-                    # entries must survive power loss, not just process death.
-                    os.fsync(self._fh.fileno())
-                self.appended_bytes += len(line)
-            return _RESOLVED
+                with self._lock:
+                    if self._closed:
+                        raise ValueError("append to a closed WAL")
+                    seq = self._next_seq
+                    self._next_seq = seq + 1
+                    self.appended_bytes += len(line)
+                # Probe-on-write: a failed log tries to heal before taking
+                # new work, so the first write after the fault clears both
+                # flushes the parked backlog and succeeds itself.
+                if self.failed and not self._heal_locked():
+                    self._park([(seq, line)])
+                    return CommitTicket(seq, self)
+                try:
+                    # configured, not current: a heal above may have just
+                    # restored group durability, but this entry is being
+                    # written inline and acked, so it must reach disk now.
+                    self._write_payload(line, fsync=self.configured_durability != "none")
+                except OSError as exc:
+                    self._park([(seq, line)], exc)
+                    return CommitTicket(seq, self)
+                with self._lock:
+                    if seq > self._durable_seq:
+                        self._durable_seq = seq
+                        self._durable_cond.notify_all()
+            return CommitTicket(seq, self)
         with self._lock:
             if self._closed:
                 raise ValueError("append to a closed WAL")
             seq = self._next_seq
             self._next_seq = seq + 1
-            self._buffer.append(line)
+            self._buffer.append((seq, line))
             self.appended_bytes += len(line)
             if self._flusher is None:
                 self._flusher = threading.Thread(
@@ -157,13 +228,13 @@ class RecordWal:
         return CommitTicket(seq, self)
 
     def wait_durable(self, seq: int, timeout: Optional[float] = None) -> bool:
-        if self.durability != "group":
-            return True
         deadline = None if timeout is None else _monotonic() + timeout
         while True:
             with self._lock:
                 if self._durable_seq >= seq:
                     return True
+                if seq in self._parked_seqs:
+                    return False
                 if self._closed:
                     return False
             if deadline is not None and _monotonic() >= deadline:
@@ -181,7 +252,11 @@ class RecordWal:
                     self._io_lock.release()
                 continue
             with self._lock:
-                if self._durable_seq >= seq or self._closed:
+                if (
+                    self._durable_seq >= seq
+                    or self._closed
+                    or seq in self._parked_seqs
+                ):
                     continue
                 if deadline is None:
                     self._durable_cond.wait()
@@ -191,16 +266,186 @@ class RecordWal:
                         self._durable_cond.wait(remaining)
 
     def is_durable(self, seq: int) -> bool:
-        if self.durability != "group":
-            return True
         with self._lock:
             return self._durable_seq >= seq
 
     def sync(self, timeout: Optional[float] = None) -> bool:
-        """Wait until everything appended so far is durable."""
+        """Wait until everything appended so far is durable.  False when
+        any entry is parked behind a disk failure or the wait times out."""
         with self._lock:
             last = self._next_seq - 1
         return self.wait_durable(last, timeout)
+
+    # ------------------------------------------------------------------ physical I/O
+
+    def _write_payload(self, data: str, fsync: bool = True) -> None:
+        """Write + flush (+ fsync) under ``_io_lock``, firing the WAL fault
+        points and retrying transient I/O errors with capped exponential
+        backoff.  On persistent failure the file is rewound to the last
+        known-good byte (no torn garbage survives) and the error is raised
+        for the caller to park.  Raises ``SimulatedCrash`` on injected
+        process death."""
+        attempt = 0
+        while True:
+            try:
+                self.faults.fire("wal.append", bytes=len(data))
+                self._fh.write(data)
+                self._fh.flush()
+                if fsync:
+                    self.faults.fire("wal.fsync")
+                    os.fsync(self._fh.fileno())
+                self._good_size += len(data)
+                return
+            except TornWrite as fault:
+                # Crash mid-write: a prefix of the payload reaches the
+                # file (the classic torn tail), then the process dies.
+                self._rewind_to_good()
+                prefix = data[: max(1, int(len(data) * fault.fraction))] if data else ""
+                try:
+                    self._fh.write(prefix)
+                    self._fh.flush()
+                except OSError:
+                    pass
+                self._mark_crashed()
+                raise SimulatedCrash(str(fault)) from None
+            except SimulatedCrash:
+                self._mark_crashed()
+                raise
+            except OSError:
+                attempt += 1
+                self._rewind_to_good()
+                if attempt > self.io_retries:
+                    raise
+                self.retried_writes += 1
+                delay = min(self.io_backoff * (2 ** (attempt - 1)), self.io_backoff_cap)
+                if delay > 0:
+                    _sleep(delay)
+
+    def _rewind_to_good(self) -> None:
+        """Drop any partially-written garbage past the last known-good
+        byte and reopen a fresh append handle (the failed one may be
+        poisoned).  Best effort: if even this fails, ``heal`` retries it
+        later with the same ``_good_size``."""
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        try:
+            with open(self.path, "rb+") as fh:
+                fh.truncate(self._good_size)
+        except OSError:
+            pass
+        try:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        except OSError:
+            # Keep a handle object so later writes raise OSError (and park)
+            # rather than AttributeError; heal() replaces it.
+            self._fh = open(os.devnull, "a", encoding="utf-8")
+
+    def _mark_crashed(self) -> None:
+        """Injected process death: unflushed buffered entries are lost and
+        every waiter unblocks with False, exactly as if the process had
+        been killed."""
+        with self._lock:
+            self._closed = True
+            self._buffer = []
+            self._flush_cond.notify_all()
+            self._durable_cond.notify_all()
+
+    # ------------------------------------------------------------------ degradation
+
+    def _park(self, entries: List[Tuple[int, str]], exc: Optional[BaseException] = None) -> None:
+        """Retries exhausted: hold the lines in memory, mark the log
+        failed, and escalate ``group`` durability to ``always``.  Never
+        raises — durability failures surface through tickets (False), not
+        through ``append``."""
+        callback = None
+        with self._lock:
+            self._parked.extend(entries)
+            self._parked_seqs.update(seq for seq, _ in entries)
+            if exc is not None:
+                self.last_error = exc
+            if not self.failed:
+                self.failed = True
+                self.degraded_events += 1
+                if self.durability == "group":
+                    # Escalation ladder, middle rung: batching behind a
+                    # broken leader would just grow the parked backlog;
+                    # inline appends probe the disk on every write instead.
+                    self.durability = "always"
+                callback = self.on_degrade
+            self._durable_cond.notify_all()
+        if callback is not None:
+            try:
+                callback(self.last_error)
+            except Exception:
+                pass
+
+    def heal(self) -> bool:
+        """Probe the disk and flush the parked backlog; True when the log
+        is healthy again.  Called by the health monitor's probe-on-write
+        and by inline appends that find the log failed.  Safe to call on a
+        healthy log (no-op probe)."""
+        with self._io_lock:
+            return self._heal_locked()
+
+    def _heal_locked(self) -> bool:
+        if not self.failed:
+            return True
+        with self._lock:
+            parked = list(self._parked)
+        # Reopen from scratch: the old handle may be poisoned and the file
+        # may carry partial garbage from the failed write.
+        try:
+            with open(self.path, "rb+") as fh:
+                fh.truncate(self._good_size)
+            fresh = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            self.last_error = exc
+            return False
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        self._fh = fresh
+        payload = "".join(line for _, line in parked)
+        try:
+            self._write_payload(payload, fsync=self.configured_durability != "none")
+        except OSError as exc:
+            self.last_error = exc
+            return False
+        with self._lock:
+            for seq, _ in parked:
+                self._parked_seqs.discard(seq)
+            del self._parked[: len(parked)]
+            if not self._parked:
+                self.failed = False
+                self.last_error = None
+                self.durability = self.configured_durability
+                self.healed_events += 1
+            if parked and not self._parked_seqs:
+                top = max(seq for seq, _ in parked)
+                if top > self._durable_seq:
+                    self._durable_seq = top
+                self._durable_cond.notify_all()
+        return not self.failed
+
+    def status(self) -> dict:
+        """Health snapshot for ``/warp/admin/health``."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "durability": self.durability,
+                "configured_durability": self.configured_durability,
+                "failed": self.failed,
+                "parked_entries": len(self._parked),
+                "buffered_entries": len(self._buffer),
+                "durable_lag": (self._next_seq - 1) - self._durable_seq,
+                "retried_writes": self.retried_writes,
+                "degraded_events": self.degraded_events,
+                "healed_events": self.healed_events,
+                "last_error": repr(self.last_error) if self.last_error else None,
+            }
 
     # ------------------------------------------------------------------ flusher
 
@@ -224,8 +469,14 @@ class RecordWal:
                         if remaining <= 0:
                             break
                         self._flush_cond.wait(remaining)
-            with self._io_lock:
-                self._commit_buffer()
+            try:
+                with self._io_lock:
+                    self._commit_buffer()
+            except SimulatedCrash:
+                # Injected process death on the flusher thread: the waiters
+                # were already unblocked by _mark_crashed; the thread exits
+                # like the process it is standing in for.
+                return
 
     def _commit_buffer(self) -> None:
         """Write and fsync everything buffered, as one batch.  Caller must
@@ -233,16 +484,37 @@ class RecordWal:
         keeps the file in seq order with concurrent committers, and makes
         the batch atomic against ``truncate`` (which also holds it) — a
         captured batch can never straddle a truncation, so no entry is
-        ever resurrected into the fresh file after its snapshot."""
+        ever resurrected into the fresh file after its snapshot.
+
+        Never raises I/O errors (the flusher must survive a sick disk): a
+        failed batch is parked and its waiters observe False through their
+        tickets.  ``SimulatedCrash`` does propagate — it models process
+        death, not an error to handle."""
         with self._lock:
             batch = self._buffer
             self._buffer = []
             last_seq = self._next_seq - 1
-        if batch:
-            self._fh.write("".join(batch))
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+        if not batch:
+            # Nothing captured — do NOT advance the durable watermark.  An
+            # empty buffer does not mean everything is durable: a leader
+            # that crashed mid-commit took its captured batch down with it
+            # (_mark_crashed cleared the buffer), and advancing here would
+            # mark those never-fsynced entries durable and falsely ack
+            # their waiters.
+            return
+        if self.failed:
+            # Already degraded: park behind the earlier failures so
+            # heal replays everything in seq order.
+            self._park(batch)
+            return
+        try:
+            self._write_payload("".join(line for _, line in batch), fsync=True)
+        except OSError as exc:
+            self._park(batch, exc)
+            return
         with self._lock:
+            if self._parked_seqs:
+                last_seq = min(last_seq, min(self._parked_seqs) - 1)
             if last_seq > self._durable_seq:
                 self._durable_seq = last_seq
                 self._durable_cond.notify_all()
@@ -251,16 +523,28 @@ class RecordWal:
 
     def truncate(self) -> None:
         """Discard all logged entries (a snapshot now covers them).
-        Buffered entries are dropped and their tickets resolve immediately:
-        the snapshot that triggered the truncation already contains them."""
+        Buffered and parked entries are dropped and their tickets resolve
+        immediately: the snapshot that triggered the truncation already
+        contains them.  A failed log is healthy again after truncation —
+        the new file has nothing to replay."""
         with self._io_lock:
             with self._lock:
                 self._buffer = []
+                self._parked = []
+                self._parked_seqs.clear()
                 self._durable_seq = self._next_seq - 1
                 self.appended_bytes = 0
+                if self.failed:
+                    self.failed = False
+                    self.last_error = None
+                    self.durability = self.configured_durability
                 self._durable_cond.notify_all()
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError:
+                pass
             self._fh = open(self.path, "w", encoding="utf-8")
+            self._good_size = 0
 
     def close(self) -> None:
         flusher = None
@@ -272,10 +556,17 @@ class RecordWal:
         if flusher is not None:
             flusher.join(timeout=5.0)
         # Drain anything the flusher did not get to (e.g. it was never
-        # started, or timed out above), then close the file.
+        # started, or timed out above), then close the file.  A failed log
+        # gets one last heal attempt so parked entries are not silently
+        # dropped when the fault has already cleared.
         with self._io_lock:
+            if self.failed:
+                self._heal_locked()
             self._commit_buffer()
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------ recovery
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.clock import INFINITY, LogicalClock
 from repro.core.errors import RepairError, SqlError
+from repro.faults.plane import active as _active_plane
 from repro.db.executor import ExecContext, Executor, QueryResult
 from repro.db.sql import ast
 from repro.db.sql.parser import parse
@@ -133,10 +134,12 @@ class TimeTravelDB:
         database: Database,
         clock: LogicalClock,
         enabled: bool = True,
+        fault_plane=None,
     ) -> None:
         self.database = database
         self.clock = clock
         self.enabled = enabled
+        self.faults = fault_plane if fault_plane is not None else _active_plane()
         self.executor = Executor(database, versioned=enabled)
         self.current_gen = 0
         self.repair_gen: Optional[int] = None
@@ -448,6 +451,10 @@ class TimeTravelDB:
         """Atomically switch the repaired generation live.  The lock makes
         the switch atomic with respect to in-flight statements: no
         statement observes a half-switched generation pair."""
+        # Fired before the switch: an injected crash here models dying at
+        # the commit point, leaving the repair generation invisible (the
+        # paper's all-or-nothing repair contract).
+        self.faults.fire("ttdb.finalize_switch")
         with self._lock:
             if self.repair_gen is None:
                 raise RepairError("no repair generation is active")
@@ -455,6 +462,22 @@ class TimeTravelDB:
             self.repair_gen = None
             self._journal = None
             self._flush_statement_cache()
+
+    def integrity_errors(self, max_errors: int = 20) -> List[str]:
+        """Version-store consistency sweep across every table, evaluated
+        at the current generation (see :meth:`Table.integrity_errors`).
+        The crash-recovery harness runs this after every reload; an empty
+        list is the "store ≡ graph ≡ version-store" invariant's
+        version-store leg."""
+        errors: List[str] = []
+        with self._lock:
+            gen = self.current_gen
+            for name, table in self.database.tables.items():
+                remaining = max_errors - len(errors)
+                if remaining <= 0:
+                    break
+                errors.extend(table.integrity_errors(gen, remaining, name))
+        return errors
 
     def abort_repair(self) -> None:
         """Discard the repair generation, restoring the pre-repair state.

@@ -46,8 +46,11 @@ from repro.db.storage import Database
 from repro.http.cache import ResponseCache
 from repro.http.server import HttpServer
 from repro.repair.conflicts import Conflict, ConflictQueue
-from repro.core.errors import RepairError
+from repro.core.errors import DurabilityError, RepairError
 from repro.core.serialize import decode_tree, encode_tree
+from repro.faults.health import HealthMonitor
+from repro.faults.plane import FaultPlane
+from repro.faults.plane import active as _active_plane
 from repro.http.message import HttpRequest, HttpResponse
 from repro.repair.api import (
     CancelClientSpec,
@@ -87,9 +90,20 @@ class WarpSystem:
         response_cache: bool = False,
         response_cache_entries: int = 1024,
         statement_cache: bool = True,
+        fault_plane: Optional[FaultPlane] = None,
+        repair_retry_limit: int = 2,
     ) -> None:
         self.origin = origin
         self.enabled = enabled
+        #: Deterministic fault injection (repro.faults): every instrumented
+        #: layer in this deployment fires its fault points through this
+        #: plane.  Defaults to the process-wide plane, which is inert
+        #: unless a test arms rules on it.
+        self.faults = fault_plane if fault_plane is not None else _active_plane()
+        #: Bounded retry for repair jobs hitting transient faults
+        #: (DurabilityError / OSError / injected errors); each retry
+        #: re-runs the spec from scratch after the abort path unwound.
+        self.repair_retry_limit = repair_retry_limit
         #: Serving-path configuration (API.md "High-throughput serving").
         #: ``durability=None`` defers to ``REPRO_WAL_DURABILITY``/"always".
         self.durability = durability
@@ -100,6 +114,7 @@ class WarpSystem:
             "durability": durability,
             "flush_interval": wal_flush_interval,
             "flush_max_entries": wal_flush_max_entries,
+            "fault_plane": self.faults,
         }
         #: Repair-group scheduling: "sequential" (default), "parallel", or
         #: "off" (monolithic reference worklist); see repro.repair.clusters.
@@ -122,14 +137,18 @@ class WarpSystem:
                     "or remove the file"
                 )
         self.database = Database()
-        self.ttdb = TimeTravelDB(self.database, self.clock, enabled=enabled)
+        self.ttdb = TimeTravelDB(
+            self.database, self.clock, enabled=enabled, fault_plane=self.faults
+        )
         #: Read-through SELECT cache (repro.ttdb): on unless the deployment
         #: opts out (the pre-group-commit baseline in benchmarks does).
         self.statement_cache = statement_cache and enabled
         self.ttdb.use_statement_cache = self.statement_cache
         self.graph = ActionHistoryGraph(
             RecordStore(
-                wal=open_wal(wal_path, **self._wal_options), lock_mode=lock_mode
+                wal=open_wal(wal_path, **self._wal_options),
+                lock_mode=lock_mode,
+                fault_plane=self.faults,
             )
         )
         self.scripts = ScriptStore()
@@ -148,6 +167,7 @@ class WarpSystem:
             self.response_cache = ResponseCache(
                 self.runtime, self.graph, max_entries=response_cache_entries
             )
+            self.response_cache.faults = self.faults
             self.server.response_cache = self.response_cache
             # Invalidation fires at write-commit time, inside the TTDB
             # statement lock (see repro.http.cache's concurrency contract).
@@ -164,11 +184,28 @@ class WarpSystem:
         self.repair = RepairJobManager(self)
         self.server.admin_handler = self.repair.admin.handle
         self.server.admin_token = admin_token
+        #: Degraded-mode state machine + ``/warp/admin/health`` payload
+        #: (repro.faults.health).  The WAL reports durability failures to
+        #: it directly so unwaited (flusher-committed) entries also flip
+        #: serving read-only, not just acknowledged writes.
+        self.health = HealthMonitor(self)
+        self.server.health = self.health
+        self._wire_wal_health()
+        #: Optional bounded ServerPool serving this deployment; set by the
+        #: operator/benches so the health endpoint can report pool depth.
+        self.serving_pool = None
         #: Script versions the persisted deployment had (set by ``load``);
         #: repair refuses to run until re-registered code catches up.
         self._expected_script_versions: Dict[str, int] = {}
         if online_gate:
             self.enable_online_repair(policy=gate_policy)
+
+    def _wire_wal_health(self) -> None:
+        """Point the store's current WAL at the health monitor.  Called at
+        construction and again after ``replay_wal`` replaces the WAL."""
+        wal = self.graph.store.wal
+        if wal is not None:
+            wal.on_degrade = self.health.on_wal_degrade
 
     def _arm_rotation(self, wal_path: Optional[str]) -> None:
         """Install size-triggered WAL rotation: once the log grows past
@@ -196,8 +233,10 @@ class WarpSystem:
                 return
             try:
                 self.save(self._rotate_snapshot_path)
-            except RepairError:
-                # A repair began between the check and the save; the next
+            except (RepairError, DurabilityError, OSError):
+                # A repair began between the check and the save, or the
+                # snapshot could not be made durable (sick disk — the
+                # health monitor handles the degradation); the next
                 # acknowledged mutation retries the rotation.
                 pass
         finally:
@@ -212,6 +251,7 @@ class WarpSystem:
         baseline).  Without this, repairs keep the legacy behavior: serve
         everything live and re-apply affected runs at finalize."""
         self.server.gate = RepairGate(self.ttdb, self.graph, policy=policy)
+        self.server.gate.faults = self.faults
         return self.server.gate
 
     # -- clients -----------------------------------------------------------------
@@ -262,6 +302,7 @@ class WarpSystem:
             replay_config=self.replay_config,
         )
         controller.cluster_mode = self.cluster_mode
+        controller.faults = self.faults
         return controller
 
     def retroactive_patch(
@@ -408,6 +449,7 @@ class WarpSystem:
                 raise RepairError("load needs a snapshot path, a wal_path, or both")
             warp = cls(replay_config=replay_config)
             warp.graph.store.replay_wal(wal_path)
+            warp._wire_wal_health()
             warp._sync_id_counters()
             warp._sync_clock()
             return warp
@@ -439,6 +481,7 @@ class WarpSystem:
                 snapshot_id=state.get("snapshot_id"),
                 wal_options=warp._wal_options,
             )
+            warp._wire_wal_health()
             if warp.wal_rotate_bytes is not None:
                 warp._arm_rotation(wal_path)
         warp._sync_id_counters()

@@ -45,6 +45,14 @@ class LoadStats:
     queued: int = 0  # 202 with a ticket
     rejected: int = 0  # 503
     errors: int = 0  # anything else
+    #: Fine-grained error classes, keyed by what the 503/500 actually
+    #: means operationally: ``503-degraded`` (read-only serving after a
+    #: durability failure — reads still flow), ``503-backpressure`` (pool
+    #: queue full — retry shortly), ``503-suspended`` (serving gate),
+    #: ``503-other``, ``500-server-error``.  Availability reporting needs
+    #: this split: a degraded system that keeps serving reads is a very
+    #: different outcome from one returning 500s.
+    error_classes: Dict[str, int] = field(default_factory=dict)
     latencies: List[float] = field(default_factory=list)
     #: ``perf_counter`` completion time of every request, for warmup-
     #: windowed sustained-throughput reporting (see :meth:`summary`).
@@ -94,10 +102,30 @@ class LoadStats:
             result["sustained_rps"] = (len(window) - 1) / (window[-1] - window[0])
         return result
 
+    @staticmethod
+    def classify(response: HttpResponse) -> Optional[str]:
+        """Error class of a failed response (``None`` for successes)."""
+        if response.status == 503:
+            if "X-Warp-Degraded" in response.headers:
+                return "503-degraded"
+            if "X-Warp-Overloaded" in response.headers:
+                return "503-backpressure"
+            if "X-Warp-Suspended" in response.headers:
+                return "503-suspended"
+            return "503-other"
+        if response.status >= 500:
+            return "500-server-error"
+        return None
+
     def note(self, response: HttpResponse, seconds: float) -> None:
         self.by_status[response.status] = self.by_status.get(response.status, 0) + 1
         self.latencies.append(seconds)
         self.completions.append(_time.perf_counter())
+        error_class = self.classify(response)
+        if error_class is not None:
+            self.error_classes[error_class] = (
+                self.error_classes.get(error_class, 0) + 1
+            )
         if response.status == 202 and "X-Warp-Queued" in response.headers:
             self.queued += 1
             self.tickets.append(int(response.headers["X-Warp-Queued"]))
@@ -107,6 +135,35 @@ class LoadStats:
             self.rejected += 1
         else:
             self.errors += 1
+
+    def availability(self) -> Dict[str, float]:
+        """Served-fraction report with the rejection reasons broken out.
+
+        ``served_fraction`` counts straight successes; ``degraded_fraction``
+        is the share refused *softly* (read-only or backpressure 503s that
+        a retrying client would eventually land); ``failed_fraction`` is
+        hard failures (500s and unclassified errors)."""
+        total = self.total
+        if not total:
+            return {
+                "total": 0.0,
+                "served_fraction": 0.0,
+                "degraded_fraction": 0.0,
+                "failed_fraction": 0.0,
+            }
+        soft = sum(
+            count
+            for error_class, count in self.error_classes.items()
+            if error_class.startswith("503-")
+        )
+        # ``errors`` already counts every non-2xx/non-503 response
+        # (including 500s), so it *is* the hard-failure tally.
+        return {
+            "total": float(total),
+            "served_fraction": (self.served + self.queued) / total,
+            "degraded_fraction": soft / total,
+            "failed_fraction": self.errors / total,
+        }
 
     def merge(self, other: "LoadStats") -> None:
         self.served += other.served
@@ -119,6 +176,10 @@ class LoadStats:
         self.writes.extend(other.writes)
         for status, count in other.by_status.items():
             self.by_status[status] = self.by_status.get(status, 0) + count
+        for error_class, count in other.error_classes.items():
+            self.error_classes[error_class] = (
+                self.error_classes.get(error_class, 0) + count
+            )
 
 
 class LoadClient:
