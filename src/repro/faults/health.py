@@ -57,13 +57,16 @@ class HealthMonitor:
         with self._lock:
             self.durability_errors += 1
             self.last_error = repr(exc)
-            if self.mode == "read_only":
-                return
-            self.mode = "read_only"
-            self.degraded_since = self._warp.clock.now()
-        # Reads keep serving: their journal entries park instead of
-        # raising, and heal() re-syncs them when the disk recovers.
-        self._warp.graph.store.relaxed_durability = True
+            if self.mode != "read_only":
+                self.mode = "read_only"
+                self.degraded_since = self._warp.clock.now()
+            # Reads keep serving: their journal entries park instead of
+            # raising, and heal() re-syncs them when the disk recovers.
+            # Flipped inside the lock — mode and the store flag must move
+            # together, or a racing heal could leave read_only serving
+            # with strict durability (read-path bookkeeping would raise
+            # DurabilityError instead of parking).
+            self._warp.graph.store.relaxed_durability = True
 
     # The WAL reports degradation with the same payload.
     on_wal_degrade = on_durability_error
@@ -80,7 +83,11 @@ class HealthMonitor:
             self.mode = "normal"
             self.degraded_since = None
             self.heals += 1
-        store.relaxed_durability = False
+            # Same locked section as the mode transition (see
+            # on_durability_error): a concurrent durability error either
+            # runs before this block (its relaxed=True is overwritten
+            # along with its mode) or after (it re-degrades both).
+            store.relaxed_durability = False
         return True
 
     # -- serving policy --------------------------------------------------------

@@ -223,6 +223,11 @@ class RepairController:
         #: worklist items; when set the controller raises RepairCanceled,
         #: which unwinds through the abort path.
         self.cancel_requested = False
+        #: Set when a failure escaped *after* the generation switch
+        #: committed (repair.finalized fault point, gate-drain error): the
+        #: repaired state is live, so re-running the spec would apply it
+        #: twice — the job manager settles instead of retrying.
+        self.post_switch_failure = False
 
     def _emit(self, event: str, **payload) -> None:
         # Phase boundaries are fault points: an injected failure here
@@ -483,6 +488,7 @@ class RepairController:
             # batch back, staged code versions included; a post-switch
             # failure is already committed and keeps them.
             pre_switch = self.ttdb.repair_gen is not None
+            self.post_switch_failure = not pre_switch
             self._unwind_failed_repair()
             if pre_switch:
                 self._revert_staged_patches(staged_patches)

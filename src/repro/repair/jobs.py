@@ -410,9 +410,11 @@ class RepairJobManager:
 
     def _run_with_retry(self, job: RepairJob, store) -> None:
         """Execute ``job``, retrying transient faults up to the system's
-        ``repair_retry_limit``.  Each failed attempt has already unwound
-        through the controller's abort path (generation discarded, scripts
-        restored), so a retry starts from clean state."""
+        ``repair_retry_limit``.  Only attempts that unwound through the
+        controller's abort path (generation discarded, scripts restored)
+        are retried — a fault that escaped *after* the generation switch
+        left the repair committed, so the job settles as done-with-warning
+        instead (see ``RepairController.post_switch_failure``)."""
         attempts = 0
         while True:
             try:
@@ -422,6 +424,26 @@ class RepairJobManager:
                 self._log_job_end(store, job.job_id, "canceled")
                 return
             except (DurabilityError, OSError, InjectedFault) as exc:
+                controller = job._controller
+                if controller is not None and getattr(
+                    controller, "post_switch_failure", False
+                ):
+                    # The generation switch was already live when the fault
+                    # fired (repair.finalized, gate-queue drain): the
+                    # repaired state is committed and kept, so re-running
+                    # the spec would apply the retroactive patches a second
+                    # time against already-repaired state.  Settle as
+                    # done-with-warning instead of retrying.
+                    job._on_event("post_commit_fault", {"error": repr(exc)})
+                    result = RepairResult(
+                        ok=True,
+                        aborted=False,
+                        stats=controller.stats,
+                        conflicts=controller._repair_conflicts(),
+                    )
+                    job._settle("done", result=result)
+                    self._log_job_end(store, job.job_id, "done")
+                    return
                 # Transient storage-layer faults: the repair aborted and
                 # unwound; retry unless the budget is spent or the admin
                 # asked for cancellation in the meantime.

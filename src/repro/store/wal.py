@@ -42,9 +42,10 @@ inline instead of batching behind a broken leader.  Parked entries make
 their tickets' ``wait()`` return False, which the record store surfaces
 as a :class:`~repro.core.errors.DurabilityError` (top rung: the serving
 layer flips to read-only).  ``heal()`` truncates any torn garbage back
-to the last known-good byte, replays the parked lines through the normal
-write path, and restores the configured durability — self-healing once
-the fault clears.
+to the last known-good byte, replays the parked lines — merged, in seq
+order, with anything still sitting in the group-commit buffer from the
+failure window — through the normal write path, and restores the
+configured durability: self-healing once the fault clears.
 
 Fault points fired here: ``wal.append`` (before each physical write) and
 ``wal.fsync`` (before each fsync).  A ``torn`` fault persists a prefix
@@ -195,6 +196,21 @@ class RecordWal:
                 if self.failed and not self._heal_locked():
                     self._park([(seq, line)])
                     return CommitTicket(seq, self)
+                # Entries still sitting in the group-commit buffer (queued
+                # during a flusher's failure window before escalation, or
+                # by a concurrent append racing a heal's durability
+                # restore) all predate this seq and are not on disk yet:
+                # commit them first so the file stays in seq order and the
+                # watermark advance below cannot cover an unwritten entry.
+                with self._lock:
+                    drain = bool(self._buffer)
+                if drain:
+                    self._commit_buffer()
+                    if self.failed:
+                        # The drain parked its batch: queue behind it in
+                        # seq order instead of writing ahead of it.
+                        self._park([(seq, line)])
+                        return CommitTicket(seq, self)
                 try:
                     # configured, not current: a heal above may have just
                     # restored group durability, but this entry is being
@@ -204,9 +220,7 @@ class RecordWal:
                     self._park([(seq, line)], exc)
                     return CommitTicket(seq, self)
                 with self._lock:
-                    if seq > self._durable_seq:
-                        self._durable_seq = seq
-                        self._durable_cond.notify_all()
+                    self._advance_durable_locked(seq)
             return CommitTicket(seq, self)
         with self._lock:
             if self._closed:
@@ -268,6 +282,22 @@ class RecordWal:
     def is_durable(self, seq: int) -> bool:
         with self._lock:
             return self._durable_seq >= seq
+
+    def _advance_durable_locked(self, candidate: int) -> None:
+        """Advance the durable watermark to ``candidate``, clamped below
+        any parked *or still-buffered* entry.  Caller holds ``_lock``.
+        ``_durable_seq`` is a watermark — every seq at or below it must
+        be on disk — so an entry sitting in the group-commit buffer
+        (written by nobody yet) bounds it exactly like a parked one;
+        landing above it would falsely resolve the buffered entry's
+        ticket and ack a mutation that was never fsynced."""
+        if self._parked_seqs:
+            candidate = min(candidate, min(self._parked_seqs) - 1)
+        if self._buffer:
+            candidate = min(candidate, min(seq for seq, _ in self._buffer) - 1)
+        if candidate > self._durable_seq:
+            self._durable_seq = candidate
+            self._durable_cond.notify_all()
 
     def sync(self, timeout: Optional[float] = None) -> bool:
         """Wait until everything appended so far is durable.  False when
@@ -394,6 +424,7 @@ class RecordWal:
             return True
         with self._lock:
             parked = list(self._parked)
+            buffered = list(self._buffer)
         # Reopen from scratch: the old handle may be poisoned and the file
         # may carry partial garbage from the failed write.
         try:
@@ -408,7 +439,15 @@ class RecordWal:
         except OSError:
             pass
         self._fh = fresh
-        payload = "".join(line for _, line in parked)
+        # Replay the parked lines *and* anything still sitting in the
+        # group-commit buffer, merged in seq order: an inline park can
+        # carry a higher seq than entries buffered during the flusher's
+        # failure window (and a leader batch parked behind an inline park
+        # lands out of list order), so replaying the parked list alone —
+        # or in list order — would put entries on disk out of seq order
+        # and recovery would replay the mutations in the wrong order.
+        pending = sorted(parked + buffered)
+        payload = "".join(line for _, line in pending)
         try:
             self._write_payload(payload, fsync=self.configured_durability != "none")
         except OSError as exc:
@@ -418,16 +457,14 @@ class RecordWal:
             for seq, _ in parked:
                 self._parked_seqs.discard(seq)
             del self._parked[: len(parked)]
+            del self._buffer[: len(buffered)]
             if not self._parked:
                 self.failed = False
                 self.last_error = None
                 self.durability = self.configured_durability
                 self.healed_events += 1
-            if parked and not self._parked_seqs:
-                top = max(seq for seq, _ in parked)
-                if top > self._durable_seq:
-                    self._durable_seq = top
-                self._durable_cond.notify_all()
+            if pending:
+                self._advance_durable_locked(max(seq for seq, _ in pending))
         return not self.failed
 
     def status(self) -> dict:
@@ -493,7 +530,6 @@ class RecordWal:
         with self._lock:
             batch = self._buffer
             self._buffer = []
-            last_seq = self._next_seq - 1
         if not batch:
             # Nothing captured — do NOT advance the durable watermark.  An
             # empty buffer does not mean everything is durable: a leader
@@ -513,11 +549,11 @@ class RecordWal:
             self._park(batch, exc)
             return
         with self._lock:
-            if self._parked_seqs:
-                last_seq = min(last_seq, min(self._parked_seqs) - 1)
-            if last_seq > self._durable_seq:
-                self._durable_seq = last_seq
-                self._durable_cond.notify_all()
+            # Advance to the batch's own top seq, not _next_seq - 1: an
+            # inline append may have allocated a higher seq it has not
+            # written yet (its write happens under the _io_lock we hold,
+            # after this drain).
+            self._advance_durable_locked(max(seq for seq, _ in batch))
 
     # ------------------------------------------------------------------ lifecycle
 

@@ -41,8 +41,9 @@ from repro.faults.plane import (
 )
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.pool import ServerPool
-from repro.repair.api import CancelClientSpec
-from repro.store.wal import RecordWal
+from repro.apps.wiki import pages as wiki_pages
+from repro.repair.api import CancelClientSpec, PatchSpec
+from repro.store.wal import CommitTicket, RecordWal
 from repro.warp import WarpSystem
 from repro.workload.loadgen import LoadClient, LoadStats
 
@@ -239,6 +240,45 @@ class TestWalDegradation:
         assert all(t.wait(5.0) for t in tickets)
         wal.close()
         assert [d["n"] for _, d in RecordWal.entries(wal.path)] == [0, 1, 2]
+
+    def test_heal_and_inline_append_never_ack_buffered_entries(self, tmp_path):
+        """Regression: an entry that raced into the group-commit buffer
+        during the flusher's failure window (after the leader captured
+        its doomed batch, before durability escalated to ``always``) is
+        neither parked nor written.  A later heal or inline append must
+        not advance the durable watermark over it — its ticket would ack
+        a mutation that never reached disk."""
+        plane = FaultPlane()
+        wal = RecordWal(
+            str(tmp_path / "w.wal"),
+            durability="group",
+            flush_interval=30.0,
+            fault_plane=plane,
+        )
+        plane.arm(point="wal.append", kind="io", times=None)
+        first = wal.append("mark", {"n": 1})
+        assert first.wait(5.0) is False  # leader fails: seq 1 parked
+        assert wal.failed and wal.durability == "always"
+        # The racing entry: buffered between capture and escalation.
+        with wal._lock:
+            buffered_seq = wal._next_seq
+            wal._next_seq += 1
+            wal._buffer.append(
+                (
+                    buffered_seq,
+                    json.dumps({"kind": "mark", "data": {"n": 2}}) + "\n",
+                )
+            )
+        buffered = CommitTicket(buffered_seq, wal)
+        plane.clear()
+        # Fault cleared: the next inline append heals — replaying parked
+        # AND buffered lines in seq order — then writes itself.
+        third = wal.append("mark", {"n": 3})
+        assert third.wait(5.0)
+        assert first.wait(5.0)
+        assert buffered.wait(5.0)
+        wal.close()
+        assert [d["n"] for _, d in RecordWal.entries(wal.path)] == [1, 2, 3]
 
     def test_torn_group_commit_leader_write(self, tmp_path):
         """Satellite: a torn write during the group-commit *leader's*
@@ -527,6 +567,29 @@ class TestRepairUnderFaults:
         retries = [event for event, _ in job.events if event == "retrying"]
         assert len(retries) == warp.repair_retry_limit
         # The job end was journaled: nothing reported as interrupted.
+        assert warp.repair.interrupted_jobs() == []
+
+    def test_post_switch_fault_settles_done_without_retry(self, tmp_path):
+        """Regression: a transient fault firing *after* the generation
+        switch (``repair.finalized``) leaves the repair committed, so a
+        retry would re-apply the whole spec against already-repaired
+        state and journal duplicate patch records.  The job settles as
+        done-with-warning instead."""
+        plane = FaultPlane()
+        warp, _ = _bob_runs(tmp_path, plane)
+        patches_before = len(warp.graph.patches)
+        plane.arm(point="repair.finalized", kind="error", times=1)
+        job = warp.repair.submit(
+            PatchSpec(file="edit.php", exports=wiki_pages.make_edit())
+        )
+        assert job.wait(30.0)
+        assert job.status == "done"
+        result = job.result(5.0)
+        assert result.ok and not result.aborted
+        assert not any(event == "retrying" for event, _ in job.events)
+        assert any(event == "post_commit_fault" for event, _ in job.events)
+        # Exactly one patch record: the committed attempt did not re-run.
+        assert len(warp.graph.patches) == patches_before + 1
         assert warp.repair.interrupted_jobs() == []
 
     def test_crash_mid_repair_is_reported_interrupted(self, tmp_path):
