@@ -16,7 +16,8 @@ import time
 from conftest import emit_bench_json, once, print_table
 
 from repro.core.clock import LogicalClock
-from repro.db.storage import Column, Database, TableSchema
+from repro.db.engine import create_database
+from repro.db.storage import Column, TableSchema
 from repro.ttdb.timetravel import TimeTravelDB
 from repro.workload.metrics import (
     measure_overhead,
@@ -135,7 +136,9 @@ def test_table6_overhead(benchmark):
 def _build_deep_hotpath_db(planned: bool) -> TimeTravelDB:
     """A table at Table-6 hot-path scale: HOTPATH_ROWS visible rows, each
     with HOTPATH_DEPTH dead versions of history underneath."""
-    tt = TimeTravelDB(Database(), LogicalClock())
+    # Backend-aware: honors REPRO_DB_BACKEND so the hot-path numbers can
+    # be taken on either engine (the regression gates stay ratio-based).
+    tt = TimeTravelDB(create_database(), LogicalClock())
     if not planned:
         tt.executor.use_planner = False
         tt.use_read_set_cache = False

@@ -69,7 +69,7 @@ def main(argv=None) -> int:
         status = "ok"
         if change < -args.tolerance:
             status = "FAIL"
-            failed.append(name)
+            failed.append((name, cur, base, change))
         arrow = "+" if change >= 0 else ""
         print(
             f"  [{status:4}] {name}: {cur:.3f} vs baseline {base:.3f} "
@@ -80,8 +80,13 @@ def main(argv=None) -> int:
     if failed:
         print(
             f"\n{len(failed)} gate(s) regressed more than "
-            f"{args.tolerance * 100:.0f}%: {', '.join(failed)}"
+            f"{args.tolerance * 100:.0f}%:"
         )
+        for name, cur, base, change in failed:
+            print(
+                f"  {name}: {cur:.3f} vs baseline {base:.3f} "
+                f"({change * 100:.1f}%, tolerance -{args.tolerance * 100:.0f}%)"
+            )
         return 1
     print("\nall gates within tolerance")
     return 0

@@ -5,6 +5,7 @@ time-travel semantics (continuous versioning, repair generations,
 partition dependency analysis) are layered on top in :mod:`repro.ttdb`.
 """
 
+from repro.db.engine import PyMemoryEngine, create_database, resolve_backend
 from repro.db.executor import ExecContext, Executor, QueryResult
 from repro.db.storage import Column, Database, RowVersion, Table, TableSchema
 
@@ -14,6 +15,9 @@ __all__ = [
     "Table",
     "RowVersion",
     "Database",
+    "PyMemoryEngine",
+    "create_database",
+    "resolve_backend",
     "Executor",
     "ExecContext",
     "QueryResult",

@@ -159,10 +159,7 @@ class Executor:
         if self.versioned:
             yield from table.visible_rows(ctx.ts, ctx.gen)
         else:
-            for row_id in sorted(table.versions):
-                for version in table.versions[row_id]:
-                    yield version
-                    break
+            yield from table.plain_rows()
 
     def _version_of(self, table: Table, row_id: int, ctx: ExecContext):
         if self.versioned:
@@ -179,6 +176,12 @@ class Executor:
         plan: Optional[ExecPlan] = None,
     ) -> List[RowVersion]:
         if plan is not None:
+            fetch = getattr(table, "fetch_plan", None)
+            if fetch is not None:
+                # SQL-lowering engines fetch matched rows natively (lowered
+                # WHERE plus visibility in one query); order is row-ID order.
+                matched, _ = fetch(plan, params, ctx, self.versioned, False)
+                return matched
             candidates = self._plan_candidates(table, plan, params)
             if candidates is not None:
                 return self._match_candidates(table, candidates, plan, params, ctx)
@@ -315,7 +318,16 @@ class Executor:
     ) -> QueryResult:
         table = self.database.table(stmt.table)
         pre_sorted = False
-        if plan is not None:
+        fetch = getattr(table, "fetch_plan", None) if plan is not None else None
+        if fetch is not None:
+            matched, pre_sorted = fetch(
+                plan,
+                params,
+                ctx,
+                self.versioned,
+                bool(stmt.order_by) and not stmt.is_aggregate,
+            )
+        elif plan is not None:
             candidates = self._plan_candidates(table, plan, params)
             if candidates is not None:
                 matched = self._match_candidates(table, candidates, plan, params, ctx)
@@ -459,7 +471,7 @@ class Executor:
         for index, data in enumerate(new_rows):
             if index < len(ctx.forced_row_ids):
                 row_id = ctx.forced_row_ids[index]
-                table._next_row_id = max(table._next_row_id, row_id + 1)
+                table.note_row_id(row_id)
             else:
                 row_id = table.allocate_row_id(data)
             # AUTO INCREMENT semantics: surface the allocated ID through the
@@ -553,10 +565,7 @@ class Executor:
                 partitions |= _partition_keys(schema, new_data)
             affected.append(version.row_id)
             if not self.versioned:
-                if index_new_data:
-                    table.replace_data(version, new_data)
-                else:
-                    version.data = new_data
+                table.set_plain_data(version, new_data, reindex=index_new_data)
                 continue
             self._supersede(table, version, ctx)
             replacement = RowVersion(
@@ -640,7 +649,7 @@ class Executor:
             preserved = version.copy()
             preserved.end_gen = ctx.current_gen
             table.add_version(preserved)
-            version.start_gen = ctx.gen
+            table.rehome_version(version, ctx.gen)
             if ctx.journal is not None:
                 ctx.journal.note_fenced(table, preserved)
                 ctx.journal.note_created(table, version)

@@ -66,6 +66,9 @@ class ExecPlan:
         "insert_rows",
         "touches_indexed",
         "touches_partitions",
+        "lowered",
+        "lowered_order",
+        "referenced",
     )
 
     def __init__(self, kind: str, table: str, epoch: int) -> None:
@@ -86,6 +89,13 @@ class ExecPlan:
         #: index entries / partition keys provably cover the new version.
         self.touches_indexed = True
         self.touches_partitions = True
+        #: SQL-lowering artifacts, populated only for tables advertising
+        #: ``sql_lowering`` (the SQLite engine): a bind-time-renderable
+        #: WHERE tree, the ORDER BY column list, and the referenced-column
+        #: set for projection pushdown (see :mod:`repro.db.sql.lower`).
+        self.lowered = None
+        self.lowered_order: Optional[Tuple[Tuple[str, bool], ...]] = None
+        self.referenced = None
 
 
 def build_plan(stmt: ast.Statement, table: Table, epoch: int) -> ExecPlan:
@@ -124,6 +134,17 @@ def build_plan(stmt: ast.Statement, table: Table, epoch: int) -> ExecPlan:
                     stmt.order_by[0].expr.name,
                     stmt.order_by[0].descending,
                 )
+        if getattr(table, "sql_lowering", False):
+            from repro.db.sql.lower import build_lowering, referenced_columns
+
+            plan.lowered = build_lowering(stmt.where)
+            plan.referenced = referenced_columns(stmt)
+            if stmt.order_by and all(
+                isinstance(order.expr, ast.ColumnRef) for order in stmt.order_by
+            ):
+                plan.lowered_order = tuple(
+                    (order.expr.name, order.descending) for order in stmt.order_by
+                )
         return plan
 
     if isinstance(stmt, ast.Update):
@@ -138,11 +159,19 @@ def build_plan(stmt: ast.Statement, table: Table, epoch: int) -> ExecPlan:
         plan.touches_indexed = bool(assigned & table._indexed_columns)
         plan.touches_partitions = bool(assigned & set(schema.partition_columns))
         _plan_where(plan, stmt.where, table)
+        if getattr(table, "sql_lowering", False):
+            from repro.db.sql.lower import build_lowering
+
+            plan.lowered = build_lowering(stmt.where)
         return plan
 
     if isinstance(stmt, ast.Delete):
         plan = ExecPlan("delete", stmt.table, epoch)
         _plan_where(plan, stmt.where, table)
+        if getattr(table, "sql_lowering", False):
+            from repro.db.sql.lower import build_lowering
+
+            plan.lowered = build_lowering(stmt.where)
         return plan
 
     if isinstance(stmt, ast.Insert):

@@ -128,7 +128,7 @@ class RowVersion:
     share it.
     """
 
-    __slots__ = ("row_id", "data", "start_ts", "end_ts", "start_gen", "end_gen")
+    __slots__ = ("row_id", "data", "start_ts", "end_ts", "start_gen", "end_gen", "vid")
 
     def __init__(
         self,
@@ -145,6 +145,11 @@ class RowVersion:
         self.end_ts = end_ts
         self.start_gen = start_gen
         self.end_gen = end_gen
+        #: Engine-private version identity.  The in-memory engine relies on
+        #: object identity and leaves this None; the SQLite engine stamps the
+        #: shadow-table rowid here so materialized versions can be mutated
+        #: and discarded by key across statements.
+        self.vid = None
 
     def visible(self, ts: int, gen: int) -> bool:
         return (
@@ -324,6 +329,71 @@ class Table:
         self._index_version_data(new_data, version.row_id)
         chain = self.versions.get(version.row_id, [])
         self._purge_stale_values(old_data, version.row_id, chain)
+
+    # -- engine seam -----------------------------------------------------------
+    #
+    # Everything above the storage layer mutates version state only through
+    # the methods below (plus add/close/reopen/remove/replace above).  They
+    # are trivial attribute writes here; the SQLite engine overrides them
+    # with write-through updates keyed by ``RowVersion.vid`` so the same
+    # executor/repair/rollback code drives either backend.
+
+    def note_row_id(self, row_id: int) -> None:
+        """Record an externally chosen row ID so future synthetic
+        allocations never collide with it (forced-ID inserts)."""
+        if row_id + 1 > self._next_row_id:
+            self._next_row_id = row_id + 1
+
+    def rehome_version(self, version: RowVersion, start_gen: int) -> None:
+        """Move a version's start into ``start_gen`` (repair supersede)."""
+        version.start_gen = start_gen
+
+    def fence_version(self, version: RowVersion, end_gen: int) -> None:
+        """Cap a version's generation interval at ``end_gen``."""
+        version.end_gen = end_gen
+
+    def unfence_version(self, version: RowVersion, if_end_gen: int) -> None:
+        """Undo a fence: re-extend ``end_gen`` to INFINITY, but only when it
+        still equals ``if_end_gen`` (abort must not clobber later fences)."""
+        if version.end_gen == if_end_gen:
+            version.end_gen = INFINITY
+
+    def discard_version(self, version: RowVersion) -> bool:
+        """Remove a version if it is still present (repair abort).  Returns
+        whether anything was removed; idempotent by design."""
+        chain = self.versions.get(version.row_id)
+        if chain is not None and any(v is version for v in chain):
+            self.remove_version(version)
+            return True
+        return False
+
+    def gc_superseded(self, current_gen: int) -> int:
+        """Drop every version fenced strictly before ``current_gen`` —
+        history no surviving generation can see (post-finalize GC)."""
+        removed = 0
+        for version in list(self.all_versions()):
+            if version.end_gen < current_gen:
+                self.remove_version(version)
+                removed += 1
+        return removed
+
+    def plain_rows(self) -> Iterator[RowVersion]:
+        """Non-versioned ("No WARP" baseline) scan: the first version of
+        every row chain, in row-ID order."""
+        for row_id in self._sorted_ids:
+            chain = self.versions.get(row_id)
+            if chain:
+                yield chain[0]
+
+    def set_plain_data(
+        self, version: RowVersion, new_data: Dict[str, object], reindex: bool = True
+    ) -> None:
+        """Plain-mode in-place update.  ``reindex=False`` is the planner
+        fast path for assignments that touch no indexed column."""
+        if reindex:
+            self.replace_data(version, new_data)
+        else:
+            version.data = new_data
 
     # -- equality / ordered index ----------------------------------------------
 
@@ -718,7 +788,16 @@ def _visible_in_chain(
 
 
 class Database:
-    """A named collection of tables."""
+    """A named collection of tables.
+
+    This class doubles as the reference implementation of the storage-engine
+    contract (see :mod:`repro.db.engine`): everything the layers above need
+    from a backend is exactly the public surface of ``Database`` + ``Table``.
+    """
+
+    #: Engine identifier recorded in snapshots (``repro.db.engine`` registers
+    #: alternate backends under other names).
+    backend = "python"
 
     def __init__(self) -> None:
         self.tables: Dict[str, Table] = {}

@@ -66,6 +66,8 @@ FAULT_POINTS = (
     "gate.reapply",  # queued-request re-application after repair
     "cache.fill",  # response-cache fill after a served miss
     "pool.dispatch",  # server pool worker picking up a request
+    "sqlite.exec",  # every statement the SQLite storage engine executes
+    "sqlite.commit",  # SQLite engine checkpoint (meta flush + WAL truncate)
 )
 
 

@@ -63,7 +63,7 @@ def rollback_row(
         extended = latest.copy()
         extended.start_gen = repair_gen
         extended.end_ts = INFINITY
-        latest.end_gen = min(latest.end_gen, current_gen)
+        table.fence_version(latest, min(latest.end_gen, current_gen))
         table.add_version(extended)
         if journal is not None:
             journal.note_created(table, extended)
@@ -86,7 +86,7 @@ def _exclude_from_gen(
         # Created during this repair: it can simply be discarded.
         table.remove_version(version)
     else:
-        version.end_gen = current_gen
+        table.fence_version(version, current_gen)
         if journal is not None:
             journal.note_fenced(table, version)
 

@@ -188,6 +188,12 @@ class TimeTravelDB:
         self._write_counts: Dict[object, int] = {}
 
     @property
+    def backend(self) -> str:
+        """Identifier of the storage engine underneath (``"python"``,
+        ``"sqlite"``); recorded in :meth:`state_dict` for diagnostics."""
+        return getattr(self.database, "backend", "python")
+
+    @property
     def statement_lock(self) -> threading.RLock:
         """The statement-granular execution lock; the response cache's hit
         path holds it while validating an entry and drawing timestamps so
@@ -501,19 +507,16 @@ class TimeTravelDB:
         journal = self._journal
         if journal is not None:
             for table, version in journal.created:
-                chain = table.versions.get(version.row_id)
-                if chain is not None and any(v is version for v in chain):
-                    table.remove_version(version)
+                table.discard_version(version)
             for table, version in journal.fenced:
-                if version.end_gen == self.current_gen:
-                    version.end_gen = INFINITY
+                table.unfence_version(version, self.current_gen)
         else:  # pragma: no cover - defensive fallback
             for table in self.database.tables.values():
                 for version in list(table.all_versions()):
                     if version.start_gen >= repair_gen:
                         table.remove_version(version)
-                    elif version.end_gen == self.current_gen:
-                        version.end_gen = INFINITY
+                    else:
+                        table.unfence_version(version, self.current_gen)
         self.repair_gen = None
         self._journal = None
         self._flush_statement_cache()
@@ -530,6 +533,7 @@ class TimeTravelDB:
             "current_gen": self.current_gen,
             "statements_executed": self.statements_executed,
             "partition_analysis": self.partition_analysis,
+            "db_backend": self.backend,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -562,10 +566,7 @@ class TimeTravelDB:
         with self._lock:
             self._flush_statement_cache()
             for table in self.database.tables.values():
-                for version in list(table.all_versions()):
-                    if version.end_gen < self.current_gen:
-                        table.remove_version(version)
-                        removed += 1
+                removed += table.gc_superseded(self.current_gen)
                 removed += table.gc(horizon_ts)
         return removed
 

@@ -42,7 +42,7 @@ from repro.browser.browser import Browser, Network
 from repro.browser.extension import WarpExtension
 from repro.core.clock import LogicalClock
 from repro.core.ids import IdAllocator, random_token
-from repro.db.storage import Database
+from repro.db.engine import create_database, resolve_backend, snapshot_backend
 from repro.http.cache import ResponseCache
 from repro.http.server import HttpServer
 from repro.repair.conflicts import Conflict, ConflictQueue
@@ -92,6 +92,8 @@ class WarpSystem:
         statement_cache: bool = True,
         fault_plane: Optional[FaultPlane] = None,
         repair_retry_limit: int = 2,
+        db_backend: Optional[str] = None,
+        db_path: Optional[str] = None,
     ) -> None:
         self.origin = origin
         self.enabled = enabled
@@ -136,7 +138,16 @@ class WarpSystem:
                     "recover with WarpSystem.load(snapshot_or_None, wal_path=...) "
                     "or remove the file"
                 )
-        self.database = Database()
+        #: Storage engine selection (repro.db.engine): explicit argument,
+        #: then the ``REPRO_DB_BACKEND`` environment variable, then the
+        #: in-memory engine.  ``db_path`` points the SQLite engine at a
+        #: data directory (reattaching to existing group files); without
+        #: it the engine is backed by a self-cleaning temporary directory.
+        self.db_backend = resolve_backend(db_backend)
+        self.db_path = db_path
+        self.database = create_database(
+            self.db_backend, path=db_path, fault_plane=self.faults
+        )
         self.ttdb = TimeTravelDB(
             self.database, self.clock, enabled=enabled, fault_plane=self.faults
         )
@@ -405,6 +416,14 @@ class WarpSystem:
                 ),
                 "admin_token": self.server.admin_token,
             },
+            # The storage engine underneath survives reload too: a
+            # deployment running on SQLite keeps running on SQLite (the
+            # snapshot's database image is engine-portable JSON either
+            # way, so this records policy, not data).
+            "storage_config": {
+                "backend": self.db_backend,
+                "db_path": self.db_path,
+            },
             # Serving-path knobs survive reload the same way: a deployment
             # tuned for group commit + caching keeps that envelope.
             "serving_config": {
@@ -456,10 +475,13 @@ class WarpSystem:
         with open(path, "r", encoding="utf-8") as fh:
             state = json.load(fh)
         serving = state.get("serving_config", {})
+        storage = state.get("storage_config", {})
         warp = cls(
             origin=state["origin"],
             enabled=state["enabled"],
             replay_config=replay_config,
+            db_backend=snapshot_backend(state),
+            db_path=storage.get("db_path"),
             durability=serving.get("durability"),
             wal_flush_interval=serving.get("wal_flush_interval", 0.002),
             wal_flush_max_entries=serving.get("wal_flush_max_entries", 128),

@@ -1,0 +1,27 @@
+"""Shared test configuration: storage-backend selection.
+
+The suite honours ``REPRO_DB_BACKEND=python|sqlite`` — every test that
+builds its database through :func:`repro.db.engine.create_database`
+(directly or via :class:`repro.warp.WarpSystem`) runs against the
+selected engine, so CI can execute the same suites across the storage
+matrix without test changes.
+"""
+
+import os
+
+import pytest
+
+from repro.db.engine import BACKEND_ENV, resolve_backend
+
+
+def pytest_report_header(config):
+    raw = os.environ.get(BACKEND_ENV)
+    resolved = resolve_backend()
+    suffix = f" ({BACKEND_ENV}={raw})" if raw else " (default)"
+    return f"repro storage backend: {resolved}{suffix}"
+
+
+@pytest.fixture
+def db_backend():
+    """The storage backend name the suite is running against."""
+    return resolve_backend()

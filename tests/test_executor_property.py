@@ -1,26 +1,40 @@
-"""Property test: planned/compiled execution == naive reference execution.
+"""Property test: planned/compiled execution == naive reference execution,
+and the Python memory engine == the SQLite engine.
 
 A seeded-random workload of schemas, data and statements (normal
 execution, repair-generation re-execution, rollback, abort/finalize, GC)
-is run against two TimeTravelDB instances: one with the query planner and
-read-set cache enabled (the default), one forced onto the naive
-tree-walking reference paths.  Every observable — result snapshots, row
-order, read/written row IDs and partitions, read sets, error outcomes,
-and the full version store — must be identical.
+is run against several TimeTravelDB instances: one with the query
+planner and read-set cache enabled (the default), one forced onto the
+naive tree-walking reference paths, and — in the cross-backend tests —
+the same pair again on the SQLite storage engine.  Every observable —
+result snapshots, row order, read/written row IDs and partitions, read
+sets, error outcomes, and the full version store — must be identical
+across every instance.
 
-This is the snapshot-equivalence contract the planner documents in
-DESIGN.md: dependency tracking and repair escalation must be
-byte-for-byte unchanged by plan caching, compiled predicates, and index
-access paths.
+This is the snapshot-equivalence contract the planner and the storage
+engines document in DESIGN.md: dependency tracking and repair escalation
+must be byte-for-byte unchanged by plan caching, compiled predicates,
+index access paths, SQL lowering, and the storage backend.
+
+The suite honours ``REPRO_DB_BACKEND`` (see ``tests/conftest.py``): the
+planned-vs-naive seeds run on whichever engine the environment selects,
+so the CI storage matrix exercises both backends with the same tests.
 """
 
 import random
 
+import pytest
+
 from repro.core.clock import LogicalClock
-from repro.db.storage import Column, Database, TableSchema
+from repro.db.engine import create_database
+from repro.db.storage import Column, TableSchema
 from repro.ttdb.timetravel import TimeTravelDB
 
 TEXT_POOL = ("x", "y", "z", "wiki", "a%b", "a_b", "", "Home")
+
+#: Seeds for the cross-backend equivalence sweep (satellite of the
+#: pluggable-engine work): python ≡ sqlite over 20+ seeded workloads.
+CROSS_BACKEND_SEEDS = tuple(range(20))
 
 
 def make_schema(variant: int) -> TableSchema:
@@ -41,15 +55,18 @@ def make_schema(variant: int) -> TableSchema:
     )
 
 
+def make_db(variant: int, backend=None, planner: bool = True) -> TimeTravelDB:
+    tt = TimeTravelDB(create_database(backend), LogicalClock())
+    if not planner:
+        tt.executor.use_planner = False
+        tt.use_read_set_cache = False
+    tt.create_table(make_schema(variant))
+    return tt
+
+
 def make_pair(variant: int):
-    planned = TimeTravelDB(Database(), LogicalClock())
-    naive = TimeTravelDB(Database(), LogicalClock())
-    naive.executor.use_planner = False
-    naive.use_read_set_cache = False
-    schema = make_schema(variant)
-    planned.create_table(schema)
-    naive.create_table(schema)
-    return planned, naive
+    """Planned vs naive on the environment-selected backend."""
+    return make_db(variant), make_db(variant, planner=False)
 
 
 class StatementGen:
@@ -230,69 +247,86 @@ def assert_same_result(a, b, sql, params):
     assert a.full_table_write == b.full_table_write, context
 
 
-def run_workload(seed: int, n_statements: int = 220):
+def assert_same_dumps(dbs, context):
+    reference = dump(dbs[0])
+    for other in dbs[1:]:
+        assert dump(other) == reference, context
+
+
+def run_workload(seed: int, n_statements: int = 220, dbs=None):
+    """Drive the same seeded workload through every instance in ``dbs``
+    (default: planned-vs-naive on the environment backend) and assert
+    all observables match the first instance's."""
     rng = random.Random(seed)
-    planned, naive = make_pair(variant=seed)
+    if dbs is None:
+        dbs = list(make_pair(variant=seed))
+    reference = dbs[0]
     gen = StatementGen(random.Random(seed * 31 + 1))
     executed = []
 
     for step in range(n_statements):
         sql, params = gen.statement()
-        a = planned.execute(sql, params)
-        b = naive.execute(sql, params)
-        assert_same_result(a, b, sql, params)
-        executed.append((sql, tuple(params), a.ts))
+        results = [tt.execute(sql, params) for tt in dbs]
+        for other in results[1:]:
+            assert_same_result(results[0], other, sql, params)
+        executed.append((sql, tuple(params), results[0].ts))
         if step % 25 == 24:
-            assert dump(planned) == dump(naive), sql
+            assert_same_dumps(dbs, sql)
 
     # -- repair-generation phase ------------------------------------------------
     if executed:
-        planned.begin_repair()
-        naive.begin_repair()
+        for tt in dbs:
+            tt.begin_repair()
         history = rng.sample(executed, min(10, len(executed)))
         for sql, params, ts in history:
             if sql.startswith("INSERT"):
                 continue
-            ra = planned.execute_at(sql, params, ts)
-            rb = naive.execute_at(sql, params, ts)
-            assert_same_result(ra, rb, sql, params)
+            results = [tt.execute_at(sql, params, ts) for tt in dbs]
+            for other in results[1:]:
+                assert_same_result(results[0], other, sql, params)
             if not sql.startswith("SELECT"):
-                assert planned.matching_row_ids(sql, params, max(ts - 1, 0)) == (
-                    naive.matching_row_ids(sql, params, max(ts - 1, 0))
-                )
+                matched = reference.matching_row_ids(sql, params, max(ts - 1, 0))
+                for other in dbs[1:]:
+                    assert other.matching_row_ids(sql, params, max(ts - 1, 0)) == (
+                        matched
+                    )
         for _ in range(5):
             row_id = rng.randrange(1, gen.next_id + 2)
             ts = rng.choice(executed)[2]
-            touched_a = planned.rollback_row("t", row_id, ts)
-            touched_b = naive.rollback_row("t", row_id, ts)
-            assert touched_a == touched_b
-        assert dump(planned) == dump(naive)
+            touched = [tt.rollback_row("t", row_id, ts) for tt in dbs]
+            for other in touched[1:]:
+                assert other == touched[0]
+        assert_same_dumps(dbs, "post-rollback")
         if rng.random() < 0.5:
-            planned.abort_repair()
-            naive.abort_repair()
+            for tt in dbs:
+                tt.abort_repair()
         else:
-            planned.finalize_repair()
-            naive.finalize_repair()
-        assert dump(planned) == dump(naive)
+            for tt in dbs:
+                tt.finalize_repair()
+        assert_same_dumps(dbs, "post-repair")
 
     # -- post-repair traffic and GC --------------------------------------------
     for _ in range(30):
         sql, params = gen.statement()
-        a = planned.execute(sql, params)
-        b = naive.execute(sql, params)
-        assert_same_result(a, b, sql, params)
-    horizon = planned.clock.now() // 2
-    assert planned.gc(horizon) == naive.gc(horizon)
-    assert dump(planned) == dump(naive)
+        results = [tt.execute(sql, params) for tt in dbs]
+        for other in results[1:]:
+            assert_same_result(results[0], other, sql, params)
+    horizon = reference.clock.now() // 2
+    collected = [tt.gc(horizon) for tt in dbs]
+    for other in collected[1:]:
+        assert other == collected[0]
+    assert_same_dumps(dbs, "post-gc")
 
     # one more round after GC: purged indexes must still find everything
     for _ in range(30):
         sql, params = gen.statement()
-        a = planned.execute(sql, params)
-        b = naive.execute(sql, params)
-        assert_same_result(a, b, sql, params)
-    assert dump(planned) == dump(naive)
-    assert planned.total_versions() == naive.total_versions()
+        results = [tt.execute(sql, params) for tt in dbs]
+        for other in results[1:]:
+            assert_same_result(results[0], other, sql, params)
+    assert_same_dumps(dbs, "final")
+    totals = [tt.total_versions() for tt in dbs]
+    for other in totals[1:]:
+        assert other == totals[0]
 
 
 def test_planned_equals_naive_seed_0():
@@ -313,3 +347,24 @@ def test_planned_equals_naive_seed_3():
 
 def test_planned_equals_naive_seed_4():
     run_workload(4, n_statements=150)
+
+
+# -- cross-backend equivalence ------------------------------------------------
+#
+# Three instances run the identical workload: the planned executor on the
+# Python memory engine (the reference), the planned executor on the
+# SQLite engine (exercising SQL lowering, projection pushdown and ORDER
+# BY pushdown), and the naive executor on the SQLite engine (exercising
+# the engine's plain fetch paths).  Snapshots, row order, read/written
+# row IDs, partitions, error outcomes, version dumps, repair/rollback/
+# abort/finalize behaviour and GC counts must all agree.
+
+
+@pytest.mark.parametrize("seed", CROSS_BACKEND_SEEDS)
+def test_python_equals_sqlite(seed):
+    dbs = [
+        make_db(seed, backend="python"),
+        make_db(seed, backend="sqlite"),
+        make_db(seed, backend="sqlite", planner=False),
+    ]
+    run_workload(seed, n_statements=110, dbs=dbs)
