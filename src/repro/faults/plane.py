@@ -68,6 +68,8 @@ FAULT_POINTS = (
     "pool.dispatch",  # server pool worker picking up a request
     "sqlite.exec",  # every statement the SQLite storage engine executes
     "sqlite.commit",  # SQLite engine checkpoint (meta flush + WAL truncate)
+    "shard.dispatch",  # coordinator about to dispatch one shard's repair job
+    "shard.merge",  # coordinator about to merge fan-out results
 )
 
 

@@ -76,6 +76,9 @@ class ServerPool:
         )
         self._closed = False
         self.rejected = 0
+        #: Requests a worker actually picked up (rejected ones never
+        #: count); per-shard throughput accounting for the shard bench.
+        self.served = 0
         self._workers: List[threading.Thread] = []
         for index in range(workers):
             worker = threading.Thread(
@@ -96,6 +99,7 @@ class ServerPool:
                 # serving threads).
                 self.faults.fire("pool.dispatch")
                 pending._resolve(self.server.handle(pending.request))
+                self.served += 1
             except BaseException as exc:  # surfaced to the waiter
                 pending._resolve(None, exc)
 
@@ -124,6 +128,7 @@ class ServerPool:
             "alive_workers": sum(1 for w in self._workers if w.is_alive()),
             "queue_depth": self.queue_depth,
             "queued": self._queue.qsize(),
+            "served": self.served,
             "rejected": self.rejected,
             "closed": self._closed,
         }

@@ -16,6 +16,7 @@ arrivals on a condition variable instead of 503ing them.  A bare
 
 from __future__ import annotations
 
+import hmac
 import threading
 from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
@@ -68,6 +69,11 @@ class HttpServer:
         self.admin_prefix = "/warp/admin"
         #: When set, admin requests must carry it in X-Warp-Admin-Token.
         self.admin_token: Optional[str] = None
+        #: Shard identity in worker mode (repro.shard): requests stamped
+        #: with a different ``X-Warp-Shard`` by the coordinator are refused
+        #: with 421 so a mis-route cannot silently split one logical
+        #: partition's history across two shards.  None = unsharded.
+        self.shard_id: Optional[int] = None
         #: Degraded-mode state machine (repro.faults.health.HealthMonitor),
         #: installed by WarpSystem.  When set, non-GET requests are refused
         #: with 503 while the system is read-only, and durability failures
@@ -166,14 +172,26 @@ class HttpServer:
         """Serve one request during normal operation.  ``bypass_gate`` is
         for the queue drain itself: a parked request being re-applied must
         not re-queue against the still-active gate."""
+        if self.shard_id is not None:
+            stamped = request.headers.get("X-Warp-Shard")
+            if stamped is not None and stamped != str(self.shard_id):
+                return HttpResponse(
+                    status=421,
+                    body=f"misdirected request: stamped for shard {stamped}, "
+                    f"this is shard {self.shard_id}",
+                    headers={"X-Warp-Shard": str(self.shard_id)},
+                )
         if self.admin_handler is not None and request.path.startswith(
             self.admin_prefix
         ):
             # Control plane: privileged, unrecorded, ungated — and served
             # outside the suspend window so status polls work mid-switch.
-            if (
-                self.admin_token is not None
-                and request.headers.get("X-Warp-Admin-Token") != self.admin_token
+            # compare_digest keeps the comparison constant-time: the token
+            # check is the only secret-bearing branch on the serving path,
+            # and an early-exit `!=` would leak prefix length per probe.
+            if self.admin_token is not None and not hmac.compare_digest(
+                (request.headers.get("X-Warp-Admin-Token") or "").encode("utf-8"),
+                self.admin_token.encode("utf-8"),
             ):
                 return HttpResponse(
                     status=403, body="admin endpoints require X-Warp-Admin-Token"

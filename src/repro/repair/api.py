@@ -87,6 +87,13 @@ class RepairSpec:
     def validate(self) -> None:
         """Raise :class:`RepairError` when the spec is malformed."""
 
+    def routing_hints(self) -> dict:
+        """What a shard coordinator (repro.shard) can route by: the
+        client identities and code files this spec names.  Empty means
+        "no hint — plan against every shard" (e.g. a raw DB fix, whose
+        reach only preview can establish)."""
+        return {}
+
 
 @_register
 @dataclass
@@ -138,6 +145,9 @@ class PatchSpec(RepairSpec):
             "inline_exports": self.exports is not None,
         }
 
+    def routing_hints(self) -> dict:
+        return {"files": [self.file]} if self.file else {}
+
     @classmethod
     def _from_dict(cls, data: dict) -> "PatchSpec":
         # ``file`` is optional for catalog patches (the registration
@@ -173,6 +183,9 @@ class CancelVisitSpec(RepairSpec):
             "allow_conflicts": self.allow_conflicts,
         }
 
+    def routing_hints(self) -> dict:
+        return {"clients": [self.client_id]}
+
     @classmethod
     def _from_dict(cls, data: dict) -> "CancelVisitSpec":
         return cls(
@@ -197,6 +210,9 @@ class CancelClientSpec(RepairSpec):
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "client_id": self.client_id}
+
+    def routing_hints(self) -> dict:
+        return {"clients": [self.client_id]}
 
     @classmethod
     def _from_dict(cls, data: dict) -> "CancelClientSpec":
@@ -275,6 +291,16 @@ class RepairBatch(RepairSpec):
     def describe(self) -> dict:
         return {"kind": self.kind, "specs": [spec.describe() for spec in self.specs]}
 
+    def routing_hints(self) -> dict:
+        merged: dict = {}
+        for spec in self.specs:
+            for key, values in spec.routing_hints().items():
+                bucket = merged.setdefault(key, [])
+                for value in values:
+                    if value not in bucket:
+                        bucket.append(value)
+        return merged
+
     @classmethod
     def _from_dict(cls, data: dict) -> "RepairBatch":
         return cls(specs=[parse_spec(item) for item in data.get("specs", ())])
@@ -282,17 +308,29 @@ class RepairBatch(RepairSpec):
 
 def parse_spec(data: dict) -> RepairSpec:
     """Rebuild a spec from its JSON image.  Raises RepairError on an
-    unknown kind or a malformed payload."""
+    unknown kind or a malformed payload — every malformation, including a
+    non-dict body or a non-string ``kind``, must surface as RepairError so
+    the admin HTTP surface answers a structured 400, never a 500."""
     if not isinstance(data, dict):
-        raise RepairError(f"repair spec must be a JSON object, got {type(data).__name__}")
+        raise RepairError(
+            f"repair spec must be a JSON object, got {type(data).__name__}"
+        )
     kind = data.get("kind")
+    if not isinstance(kind, str):
+        # A list/dict kind would TypeError out of the registry lookup.
+        raise RepairError(
+            "repair spec 'kind' must be a string, got "
+            f"{type(kind).__name__}"
+        )
     cls = _SPEC_KINDS.get(kind)
     if cls is None:
         known = ", ".join(sorted(_SPEC_KINDS))
         raise RepairError(f"unknown repair spec kind {kind!r} (known: {known})")
     try:
         spec = cls._from_dict(data)  # type: ignore[attr-defined]
-    except (KeyError, TypeError, ValueError) as exc:
+    except RepairError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise RepairError(f"malformed {kind!r} spec: {exc!r}") from exc
     spec.validate()
     return spec

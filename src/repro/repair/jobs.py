@@ -36,6 +36,7 @@ repair is driven over the HTTP admin surface (:class:`AdminApi`).
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import deque
 from dataclasses import replace as _dc_replace
@@ -217,6 +218,11 @@ class RepairJob:
             try:
                 subscriber(event, dict(payload))
             except Exception:
+                # Observers must never sink a repair; swallowing here is
+                # safe by the fault-plane contract: coordinator
+                # cancellation travels as RepairCanceled through the
+                # *controller* (never a subscriber), and SimulatedCrash is
+                # a BaseException this clause cannot catch.
                 pass
 
     def _settle_locked(self, status: str, result=None, error=None) -> None:
@@ -420,10 +426,16 @@ class RepairJobManager:
             try:
                 result = self._execute(job)
             except RepairCanceled as exc:
+                # Cancellation must win over every other disposition —
+                # including the post-switch check below: the controller only
+                # honors a cancel *before* the switch, so a RepairCanceled
+                # here always means the generation was discarded.
                 job._settle("canceled", error=exc)
                 self._log_job_end(store, job.job_id, "canceled")
                 return
-            except (DurabilityError, OSError, InjectedFault) as exc:
+            except Exception as exc:
+                # SimulatedCrash is a BaseException by contract and sails
+                # past this handler to _drive's interrupted-job path.
                 controller = job._controller
                 if controller is not None and getattr(
                     controller, "post_switch_failure", False
@@ -433,7 +445,10 @@ class RepairJobManager:
                     # repaired state is committed and kept, so re-running
                     # the spec would apply the retroactive patches a second
                     # time against already-repaired state.  Settle as
-                    # done-with-warning instead of retrying.
+                    # done-with-warning instead of retrying — for *any*
+                    # escaping Exception, not just the injected/storage
+                    # kinds: settling "failed" here would invite the admin
+                    # to re-submit a repair that already committed.
                     job._on_event("post_commit_fault", {"error": repr(exc)})
                     result = RepairResult(
                         ok=True,
@@ -443,6 +458,14 @@ class RepairJobManager:
                     )
                     job._settle("done", result=result)
                     self._log_job_end(store, job.job_id, "done")
+                    return
+                if not isinstance(exc, (DurabilityError, OSError, InjectedFault)):
+                    # Not transient by construction (a script bug, a
+                    # malformed spec surfacing late): the abort path
+                    # unwound the generation; retrying would fail the
+                    # same way.
+                    job._settle("failed", error=exc)
+                    self._log_job_end(store, job.job_id, "failed")
                     return
                 # Transient storage-layer faults: the repair aborted and
                 # unwound; retry unless the budget is spent or the admin
@@ -455,10 +478,6 @@ class RepairJobManager:
                         {"attempt": attempts, "limit": limit, "error": repr(exc)},
                     )
                     continue
-                job._settle("failed", error=exc)
-                self._log_job_end(store, job.job_id, "failed")
-                return
-            except Exception as exc:
                 job._settle("failed", error=exc)
                 self._log_job_end(store, job.job_id, "failed")
                 return
@@ -549,6 +568,10 @@ class AdminApi:
         GET  /warp/admin/health               serving mode, WAL lag, pool
                                               depth, last fault (503 body
                                               while degraded)
+        GET  /warp/admin/shard/info           shard identity + backend
+        GET  /warp/admin/shard/touch-summary  compact TouchIndex image for
+                                              coordinator repair planning
+        POST /warp/admin/shard/save           persist this shard's snapshot
 
     While the system is degraded (read-only serving after a durability
     failure), mutating admin requests are refused with a structured 503
@@ -578,6 +601,11 @@ class AdminApi:
             # the serving thread).
             return _error(400, str(exc))
         except Exception as exc:
+            # Catch-all for the HTTP boundary only: submit() returns before
+            # the job runs, so no repair outcome (cancellation included)
+            # ever unwinds through here, and SimulatedCrash passes by as a
+            # BaseException.  Everything this catches is a server-side bug
+            # reported as a 500.
             return _error(500, f"admin handler failed: {exc!r}")
 
     def _route(self, request: HttpRequest, tail: str) -> HttpResponse:
@@ -653,6 +681,33 @@ class AdminApi:
                     {"job_id": job.job_id, "canceled": accepted, "status": job.status}
                 )
             return _error(404, f"unknown job action {action!r}")
+        # -- shard control plane (repro.shard): what a coordinator asks a
+        # worker over the same wire as every other admin operation.
+        if tail == "/shard/info":
+            if request.method != "GET":
+                return _error(405, "shard info is GET")
+            warp = manager._warp
+            return _json_response(
+                {
+                    "shard_id": warp.shard_id,
+                    "backend": warp.db_backend,
+                    "n_runs": warp.graph.n_runs,
+                    "pid": os.getpid(),
+                }
+            )
+        if tail == "/shard/touch-summary":
+            if request.method != "GET":
+                return _error(405, "touch-summary is GET")
+            return _json_response(manager._warp.graph.store.touch_summary())
+        if tail == "/shard/save":
+            if request.method != "POST":
+                return _error(405, "shard save is POST")
+            warp = manager._warp
+            path = request.params.get("path") or warp.shard_snapshot_path
+            if not path:
+                return _error(400, "no snapshot path: not a shard and no 'path' param")
+            warp.save(path)
+            return _json_response({"saved": path})
         return _error(404, f"unknown admin path {ADMIN_PREFIX}{tail}")
 
     def _spec_from(self, request: HttpRequest) -> RepairSpec:

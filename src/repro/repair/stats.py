@@ -113,3 +113,62 @@ class RepairStats:
         }
         out.update({k: round(v, 4) for k, v in self.breakdown().items()})
         return out
+
+
+#: ``to_dict`` keys summed element-wise by :func:`merge_stats_dicts`.
+_ADDITIVE_STAT_KEYS = (
+    "visits_reexecuted",
+    "runs_reexecuted",
+    "runs_pruned",
+    "runs_canceled",
+    "queries_reexecuted",
+    "nondet_misses",
+    "conflicts",
+    "total_visits",
+    "total_runs",
+    "total_queries",
+    "n_groups",
+    "clusters_seconds",
+    "escaped_keys",
+)
+
+
+def merge_stats_dicts(per_shard: Dict[int, Dict[str, object]]) -> Dict[str, object]:
+    """Merge per-shard ``RepairStats.to_dict()`` images into one
+    distributed-repair report (repro.shard).
+
+    Merge semantics (documented in DESIGN.md "Sharding"): counters and
+    totals are **sums** — each shard re-executed a disjoint slice of a
+    disjoint history, so addition double-counts nothing.  Time buckets
+    are also sums (total machine-work), with wall-clock reported
+    separately by the coordinator since shards repair concurrently.
+    Group rows and gate counters keep their shard of origin so a merged
+    report still answers "which shard did what".
+    """
+    merged: Dict[str, object] = {key: 0 for key in _ADDITIVE_STAT_KEYS}
+    merged["groups"] = []
+    merged["gate"] = {}
+    merged["breakdown"] = {}
+    merged["per_shard"] = sorted(per_shard)
+    for shard_id in sorted(per_shard):
+        stats = per_shard[shard_id]
+        if not isinstance(stats, dict):
+            continue
+        for key in _ADDITIVE_STAT_KEYS:
+            value = stats.get(key)
+            if isinstance(value, (int, float)):
+                merged[key] += value
+        for row in stats.get("groups") or []:
+            tagged = dict(row)
+            tagged["shard"] = shard_id
+            merged["groups"].append(tagged)
+        for name, count in (stats.get("gate") or {}).items():
+            key = f"shard{shard_id}.{name}"
+            merged["gate"][key] = count
+        for bucket, seconds in (stats.get("breakdown") or {}).items():
+            if isinstance(seconds, (int, float)):
+                merged["breakdown"][bucket] = round(
+                    merged["breakdown"].get(bucket, 0.0) + seconds, 6
+                )
+    merged["clusters_seconds"] = round(merged["clusters_seconds"], 6)
+    return merged

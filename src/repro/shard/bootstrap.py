@@ -1,0 +1,56 @@
+"""Application factories for shard workers.
+
+A worker bootstraps its application from an importable ``module:callable``
+name (:func:`repro.shard.worker.resolve_factory`) so the factory can cross
+a ``spawn`` process boundary as a string.  The contract::
+
+    factory(warp, fresh, args) -> app
+
+``fresh`` distinguishes first boot (install: create tables, register
+code, seed data) from recovery over a shard snapshot/WAL (re-register
+code only — the data came back with the load; script exports are Python
+callables and are never serialized).
+"""
+
+from __future__ import annotations
+
+from repro.apps.wiki.app import WikiApp
+from repro.warp import WarpSystem
+
+
+def wiki_tenants(warp: WarpSystem, fresh: bool, args: dict) -> WikiApp:
+    """The multi-tenant wiki used by shard tests and benches.
+
+    ``args`` (all optional, JSON-safe):
+
+    * ``tenants`` — tenant numbers THIS shard hosts; each gets a page
+      ``tenant<t>_wiki`` plus ``users_per_tenant`` users named
+      ``t<t>_user<i>`` with password ``pw-<name>`` (the same naming as
+      ``run_multi_tenant_scenario``, so single-process equivalence runs
+      line up exactly);
+    * ``users_per_tenant`` — default 2;
+    * ``shared_users`` — identities seeded on *every* shard (the
+      cross-shard attacker: one client identity spanning shards is the
+      only edge taint can ride once databases are disjoint).
+    """
+    wiki = WikiApp(warp.ttdb, warp.scripts, warp.server)
+    if not fresh:
+        wiki.register_code()
+        return wiki
+    wiki.install()
+    users_per_tenant = int(args.get("users_per_tenant", 2))
+    for tenant in args.get("tenants") or []:
+        tenant = int(tenant)
+        users = [f"t{tenant}_user{i}" for i in range(1, users_per_tenant + 1)]
+        for user in users:
+            wiki.seed_user(user, f"pw-{user}")
+        wiki.seed_page(
+            f"tenant{tenant}_wiki",
+            f"Welcome to tenant {tenant}'s wiki.",
+            users[0],
+            public=True,
+            editors=users[1:],
+        )
+    for user in args.get("shared_users") or []:
+        wiki.seed_user(user, f"pw-{user}")
+    return wiki

@@ -296,6 +296,95 @@ class RecordStore:
         both lock modes."""
         return self._records_lock
 
+    def touch_summary(self) -> dict:
+        """Compact, JSON-serializable image of the touch index grouped by
+        client — what a shard ships to the coordinator so distributed
+        repair can plan taint-connected clusters over the *union* of all
+        shards' connectivity without shipping run logs.
+
+        Partition keys travel as ``[table, column, value]`` triples;
+        ``reads`` holds every touched key (writers included — the planner
+        treats writes separately), ``all_reads``/``full_writes`` the
+        tables with un-narrowable read/write sets.  Runs recorded without
+        a client id cannot carry cross-shard taint (taint flows through
+        client identity once databases are disjoint) and are skipped.
+        """
+        with self.lock:
+            clients: Dict[str, dict] = {}
+
+            def bucket(run_id: int) -> Optional[dict]:
+                run = self.runs.get(run_id)
+                if run is None or run.client_id is None:
+                    return None
+                return clients.setdefault(
+                    run.client_id,
+                    {
+                        "runs": 0,
+                        "writes": set(),
+                        "reads": set(),
+                        "all_reads": set(),
+                        "full_writes": set(),
+                        "tables_written": set(),
+                    },
+                )
+
+            for client_id, run_ids in self._client_runs.items():
+                if run_ids:
+                    clients.setdefault(
+                        client_id,
+                        {
+                            "runs": 0,
+                            "writes": set(),
+                            "reads": set(),
+                            "all_reads": set(),
+                            "full_writes": set(),
+                            "tables_written": set(),
+                        },
+                    )["runs"] = len(run_ids)
+            for key, run_ids in self.touch.key_writers.items():
+                for run_id in run_ids:
+                    entry = bucket(run_id)
+                    if entry is not None:
+                        entry["writes"].add(key)
+            for key, run_ids in self.touch.key_touchers.items():
+                for run_id in run_ids:
+                    entry = bucket(run_id)
+                    if entry is not None:
+                        entry["reads"].add(key)
+            for table, run_ids in self.touch.table_all.items():
+                for run_id in run_ids:
+                    entry = bucket(run_id)
+                    if entry is not None:
+                        entry["all_reads"].add(table)
+            for table, run_ids in self.touch.table_fullw.items():
+                for run_id in run_ids:
+                    entry = bucket(run_id)
+                    if entry is not None:
+                        entry["full_writes"].add(table)
+            for table, run_ids in self.touch.table_writers.items():
+                for run_id in run_ids:
+                    entry = bucket(run_id)
+                    if entry is not None:
+                        entry["tables_written"].add(table)
+            return {
+                "n_runs": len(self.runs),
+                "clients": {
+                    client_id: {
+                        "runs": entry["runs"],
+                        "writes": sorted(
+                            (list(key) for key in entry["writes"]), key=repr
+                        ),
+                        "reads": sorted(
+                            (list(key) for key in entry["reads"]), key=repr
+                        ),
+                        "all_reads": sorted(entry["all_reads"]),
+                        "full_writes": sorted(entry["full_writes"]),
+                        "tables_written": sorted(entry["tables_written"]),
+                    }
+                    for client_id, entry in clients.items()
+                },
+            }
+
     # -- commit plumbing ----------------------------------------------------
 
     def _finish(

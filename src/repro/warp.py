@@ -33,7 +33,7 @@ import json
 import os
 import random
 import threading
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.ahg.graph import ActionHistoryGraph
 from repro.appserver.runtime import AppRuntime
@@ -208,6 +208,10 @@ class WarpSystem:
         #: Script versions the persisted deployment had (set by ``load``);
         #: repair refuses to run until re-registered code catches up.
         self._expected_script_versions: Dict[str, int] = {}
+        #: Shard identity (repro.shard): set by ``load_or_create_shard``
+        #: when this system is one shard of a multi-process deployment.
+        self.shard_id: Optional[int] = None
+        self.shard_snapshot_path: Optional[str] = None
         if online_gate:
             self.enable_online_repair(policy=gate_policy)
 
@@ -449,6 +453,7 @@ class WarpSystem:
         path: Optional[str],
         replay_config: Optional[ReplayConfig] = None,
         wal_path: Optional[str] = None,
+        **ctor_kwargs,
     ) -> "WarpSystem":
         """Reconstruct a persisted deployment in a fresh process.
 
@@ -462,16 +467,27 @@ class WarpSystem:
         caller must re-register application scripts either way (code is
         not serialized) — recorded routes are restored so request dispatch
         works as soon as the scripts exist again.
+
+        ``ctor_kwargs`` configure the fresh system underneath WAL-only
+        recovery (``path=None``) — e.g. ``db_backend``/``db_path`` for a
+        shard's storage layout.  With a snapshot they are refused: the
+        snapshot's own repair/storage/serving config wins, and a silently
+        ignored override would be a debugging trap.
         """
         if path is None:
             if wal_path is None:
                 raise RepairError("load needs a snapshot path, a wal_path, or both")
-            warp = cls(replay_config=replay_config)
+            warp = cls(replay_config=replay_config, **ctor_kwargs)
             warp.graph.store.replay_wal(wal_path)
             warp._wire_wal_health()
             warp._sync_id_counters()
             warp._sync_clock()
             return warp
+        if ctor_kwargs:
+            raise RepairError(
+                "load from a snapshot takes its configuration from the "
+                f"snapshot; unexpected overrides: {sorted(ctor_kwargs)}"
+            )
         with open(path, "r", encoding="utf-8") as fh:
             state = json.load(fh)
         serving = state.get("serving_config", {})
@@ -520,6 +536,58 @@ class WarpSystem:
             )
         warp.server.admin_token = repair_config.get("admin_token")
         return warp
+
+    # -- per-shard persistence layout (repro.shard) --------------------------
+
+    @staticmethod
+    def shard_layout(root: str, shard_id: int) -> Dict[str, str]:
+        """Canonical on-disk layout of one shard under a cluster root.
+        Every path a shard persists lives in its own subdirectory, so
+        shards never contend on files and a shard can be copied or wiped
+        as a unit."""
+        shard_dir = os.path.join(root, f"shard-{shard_id}")
+        return {
+            "dir": shard_dir,
+            "snapshot": os.path.join(shard_dir, "snapshot.json"),
+            "wal": os.path.join(shard_dir, "records.wal"),
+            "db": os.path.join(shard_dir, "db"),
+        }
+
+    @classmethod
+    def load_or_create_shard(
+        cls, root: str, shard_id: int, **kwargs
+    ) -> Tuple["WarpSystem", bool]:
+        """Bring up one shard from its layout, recovering whatever state
+        survived: snapshot (+WAL tail) -> full reload; WAL alone -> the
+        crash-before-first-save recovery; neither -> a fresh system.
+
+        Returns ``(warp, fresh)`` where ``fresh`` tells the application
+        factory whether to install (create tables + seed) or merely
+        re-register code over recovered data.  WAL-only recovery reports
+        ``fresh=True`` because database rows start empty (see
+        :meth:`load`) — the install re-creates them, and the replayed
+        graph still supports repair.  ``kwargs`` configure fresh
+        construction (storage backend, durability, admin token, ...);
+        ``db_path`` defaults into the shard's layout so the SQLite engine
+        lands inside the shard directory.
+        """
+        layout = cls.shard_layout(root, shard_id)
+        os.makedirs(layout["dir"], exist_ok=True)
+        kwargs.setdefault("db_path", layout["db"])
+        snapshot_path, wal_path = layout["snapshot"], layout["wal"]
+        if os.path.exists(snapshot_path):
+            warp = cls.load(snapshot_path, wal_path=wal_path)
+            fresh = False
+        elif os.path.exists(wal_path) and os.path.getsize(wal_path):
+            warp = cls.load(None, wal_path=wal_path, **kwargs)
+            fresh = True
+        else:
+            warp = cls(wal_path=wal_path, **kwargs)
+            fresh = True
+        warp.shard_id = shard_id
+        warp.shard_snapshot_path = snapshot_path
+        warp.server.shard_id = shard_id
+        return warp, fresh
 
     def _script_versions_for_save(self) -> Dict[str, int]:
         """Versions to persist: the live store's, floored by what a prior

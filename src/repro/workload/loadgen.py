@@ -29,7 +29,7 @@ import random
 import threading
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.http.message import HttpRequest, HttpResponse
 
@@ -185,11 +185,20 @@ class LoadStats:
 class LoadClient:
     """One simulated user: client id, cookie jar, login bootstrap."""
 
-    def __init__(self, name: str, server) -> None:
+    def __init__(
+        self,
+        name: str,
+        server,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.name = name
         self.client_id = f"{name}-load"
         self.server = server
         self.cookies: Dict[str, str] = {}
+        #: Stamped onto every request — e.g. ``X-Warp-Tenant`` so a shard
+        #: coordinator (repro.shard) routes this client's whole stream to
+        #: one worker.
+        self.extra_headers: Dict[str, str] = dict(extra_headers or {})
 
     def request(
         self,
@@ -197,13 +206,24 @@ class LoadClient:
         path: str,
         params: Optional[Dict[str, str]] = None,
     ) -> HttpRequest:
+        headers = dict(self.extra_headers)
+        headers["X-Warp-Client"] = self.client_id
         return HttpRequest(
             method=method,
             path=path,
             params=dict(params or {}),
             cookies=dict(self.cookies),
-            headers={"X-Warp-Client": self.client_id},
+            headers=headers,
         )
+
+    def clone(self, server) -> "LoadClient":
+        """The same logical client (identity, cookie jar snapshot,
+        headers) driven through a different server facade — how threaded
+        drivers give each thread its own wire connection to a shard
+        worker without re-logging-in."""
+        twin = LoadClient(self.name, server, extra_headers=self.extra_headers)
+        twin.cookies = dict(self.cookies)
+        return twin
 
     def send(self, request: HttpRequest) -> HttpResponse:
         response = self.server.handle(request)
@@ -313,6 +333,7 @@ class LoadGen:
         duration: Optional[float] = None,
         requests_per_thread: Optional[int] = None,
         stop: Optional[threading.Event] = None,
+        server_factory: Optional[Callable[[int], object]] = None,
     ) -> LoadStats:
         """Hammer the server from ``n_threads`` real threads.
 
@@ -321,6 +342,13 @@ class LoadGen:
         merged stats; per-thread RNGs are seeded from ``seed`` so the
         request *content* is deterministic even though the interleaving
         is not.
+
+        ``server_factory(index)`` gives thread ``index`` its own server
+        facade; the thread drives :meth:`LoadClient.clone`\\ s bound to
+        it.  That is how a multi-process driver avoids serializing every
+        thread on one shared wire connection (each thread gets its own
+        socket to the shard workers, which is where the scaling in
+        ``bench_shard_scale`` comes from).
         """
         if duration is None and requests_per_thread is None and stop is None:
             raise ValueError("need a duration, a request budget, or a stop event")
@@ -340,6 +368,9 @@ class LoadGen:
             mine = self.clients[index::n_threads]
             if not mine:
                 return
+            if server_factory is not None:
+                server = server_factory(index)
+                mine = [client.clone(server) for client in mine]
             issued = 0
             try:
                 while True:

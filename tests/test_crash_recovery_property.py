@@ -71,3 +71,167 @@ def test_report_serializes(tmp_path):
     json.dumps(doc)
     assert doc["seed"] == 5
     assert "violations" in doc and not doc["violations"]
+
+
+# ---------------------------------------------------------------------------
+# coordinator crash mid-fan-out (repro.shard): the distributed analogue of
+# the interrupted-job invariant — a coordinator that dies between shard
+# dispatches must, after "reload" (a new coordinator over the same journal
+# and workers), report the distributed job interrupted and resubmit it
+# exactly once per shard.
+# ---------------------------------------------------------------------------
+
+from repro.faults.plane import FaultPlane, SimulatedCrash  # noqa: E402
+from repro.http.message import HttpRequest  # noqa: E402
+from repro.repair.api import CancelClientSpec  # noqa: E402
+from repro.shard import ShardCluster  # noqa: E402
+
+
+def _shard_jobs(cluster, shard):
+    response = cluster.handle(
+        HttpRequest("GET", "/warp/admin/repair", params={"shard": str(shard)})
+    )
+    return json.loads(response.body)["jobs"]
+
+
+def _deface_cluster(tmp_path):
+    """2-shard local cluster with a cross-shard attack in place.  Tenants
+    0 and 4 hash to different shards; the attacker hits both."""
+    cluster = ShardCluster(
+        2, str(tmp_path), transport="local", tenants=[0, 4],
+        shared_users=["mallory"],
+    )
+    attacker_cookies = {}
+    for tenant in (0, 4):
+        attacker_cookies.clear()
+        for method, path, params in (
+            ("POST", "/login.php", {"wpName": "mallory", "wpPassword": "pw-mallory"}),
+            ("POST", "/edit.php", {"title": f"tenant{tenant}_wiki",
+                                   "append": f"\nDEFACED-t{tenant}"}),
+        ):
+            request = HttpRequest(
+                method, path, params=params, cookies=dict(attacker_cookies),
+                headers={"X-Warp-Tenant": f"tenant{tenant}",
+                         "X-Warp-Client": "mallory-c"},
+            )
+            response = cluster.handle(request)
+            assert response.status == 200, response.body
+            for key, value in response.set_cookies.items():
+                if value is None:
+                    attacker_cookies.pop(key, None)
+                else:
+                    attacker_cookies[key] = value
+    return cluster
+
+
+def _assert_ground_truth_clean(cluster):
+    for tenant in (0, 4):
+        home = cluster.tenant_shards[tenant]
+        text = cluster.workers[home].app.page_text(f"tenant{tenant}_wiki")
+        assert text is not None and "DEFACED" not in text
+
+
+def test_coordinator_crash_between_dispatches_resubmits_exactly_once(tmp_path):
+    cluster = _deface_cluster(tmp_path)
+    try:
+        spec = CancelClientSpec(client_id="mallory-c")
+        plane = FaultPlane()
+        # First dispatch (one shard) succeeds; the coordinator "dies" at
+        # the instant it picks the second target.
+        plane.arm(point="shard.dispatch", kind="crash", after=1, times=1)
+        crashed = cluster.new_coordinator(fault_plane=plane)
+        with pytest.raises(SimulatedCrash):
+            crashed.repair(spec)
+
+        # One shard got a job, the other never heard about the repair.
+        job_counts = sorted(len(_shard_jobs(cluster, s)) for s in (0, 1))
+        assert job_counts == [0, 1]
+
+        # "Reload": a fresh coordinator over the same journal + workers
+        # reports the distributed job interrupted …
+        reborn = cluster.new_coordinator(fault_plane=FaultPlane())
+        interrupted = reborn.interrupted()
+        assert len(interrupted) == 1
+        record = interrupted[0]
+        assert record["spec"] == spec.to_dict()
+        dispatched = [s for s, info in record["shards"].items() if info.get("job_id")]
+        assert len(dispatched) == 1
+
+        # … and resubmit finishes it: the dispatched shard is adopted
+        # (still exactly one job), the untouched shard is dispatched for
+        # the first time (exactly one job).
+        result = reborn.resubmit(record["dist_id"])
+        assert result.ok, result.to_dict()
+        for shard in (0, 1):
+            assert len(_shard_jobs(cluster, shard)) == 1
+        assert reborn.interrupted() == []
+        _assert_ground_truth_clean(cluster)
+    finally:
+        cluster.close()
+
+
+def test_coordinator_crash_before_merge_adopts_every_shard(tmp_path):
+    cluster = _deface_cluster(tmp_path)
+    try:
+        spec = CancelClientSpec(client_id="mallory-c")
+        plane = FaultPlane()
+        # Both shards dispatch and settle; the crash hits at merge time.
+        plane.arm(point="shard.merge", kind="crash", times=1)
+        crashed = cluster.new_coordinator(fault_plane=plane)
+        with pytest.raises(SimulatedCrash):
+            crashed.repair(spec)
+        assert all(len(_shard_jobs(cluster, s)) == 1 for s in (0, 1))
+
+        reborn = cluster.new_coordinator(fault_plane=FaultPlane())
+        interrupted = reborn.interrupted()
+        assert len(interrupted) == 1
+        result = reborn.resubmit(interrupted[0]["dist_id"])
+        assert result.ok
+        # Exactly-once: adoption, not re-dispatch.
+        for shard in (0, 1):
+            jobs = _shard_jobs(cluster, shard)
+            assert len(jobs) == 1 and jobs[0]["status"] == "done"
+        assert result.stats["runs_canceled"] > 0
+        assert reborn.interrupted() == []
+        _assert_ground_truth_clean(cluster)
+    finally:
+        cluster.close()
+
+
+def test_unacknowledged_dispatch_reconciles_against_worker_journal(tmp_path):
+    # The nastiest window: the journal holds the dispatch *intent* but the
+    # crash hit before the 202 was journaled.  The worker may or may not
+    # hold the job; resubmit must reconcile against the worker's own job
+    # list instead of blindly dispatching a duplicate.
+    cluster = _deface_cluster(tmp_path)
+    try:
+        spec = CancelClientSpec(client_id="mallory-c")
+        coordinator = cluster.new_coordinator(fault_plane=FaultPlane())
+        plan = coordinator.plan(spec)
+        assert plan["targets"] == [0, 1]
+        # Simulate the torn window by hand: journal start + intent for
+        # shard 0, actually submit the job to the worker, then "die"
+        # without journaling the 202.
+        coordinator._journal(
+            {"event": "start", "dist": "dist-99", "spec": spec.to_dict(),
+             "targets": plan["targets"]}
+        )
+        coordinator._journal(
+            {"event": "dispatching", "dist": "dist-99", "shard": 0}
+        )
+        status, payload = coordinator.clients[0].admin_json(
+            "POST", "/warp/admin/repair", {"spec": json.dumps(spec.to_dict())}
+        )
+        assert status == 202
+
+        reborn = cluster.new_coordinator(fault_plane=FaultPlane())
+        record = [r for r in reborn.interrupted() if r["dist_id"] == "dist-99"]
+        assert record and record[0]["shards"][0] == {"intent": True}
+        result = reborn.resubmit("dist-99")
+        assert result.ok
+        assert result.per_shard[0].get("adopted")  # reconciled, not duplicated
+        for shard in (0, 1):
+            assert len(_shard_jobs(cluster, shard)) == 1
+        _assert_ground_truth_clean(cluster)
+    finally:
+        cluster.close()

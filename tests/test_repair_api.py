@@ -1145,3 +1145,148 @@ class TestSuspend503:
         assert response.headers["X-Warp-Suspended"] == "wedged"
         assert int(response.headers["Retry-After"]) > 1
         assert "wedged" in response.body
+
+
+# ---------------------------------------------------------------------------
+# satellite (ISSUE 9): malformed specs answer a structured 400, never a 500
+# ---------------------------------------------------------------------------
+
+
+class TestSpecParseHardening:
+    """Every malformed spec posted to /warp/admin/repair must come back
+    as a JSON 400 — a 500 means an exception class escaped parse_spec."""
+
+    BAD_SPECS = [
+        "[1, 2, 3]",  # non-dict: array
+        "42",  # non-dict: number
+        "null",  # non-dict: null
+        '"cancel_client"',  # non-dict: bare string
+        '{"kind": "nope"}',  # unknown kind
+        '{"kind": {"a": 1}}',  # unhashable kind (dict) — was a TypeError/500
+        '{"kind": ["cancel_client"]}',  # unhashable kind (list)
+        '{"kind": 7}',  # non-string kind
+        "{}",  # missing kind
+        '{"kind": "cancel_visit"}',  # missing required fields
+        '{"kind": "cancel_visit", "client_id": "c1", "visit_id": "xyz"}',
+        '{"kind": "cancel_client"}',  # missing client_id
+        '{"kind": "db_fix"}',  # missing sql
+        '{"kind": "db_fix", "sql": "UPDATE t SET x=1", "params": 9}',
+        '{"kind": "patch"}',  # neither exports nor patch_name
+        '{"kind": "batch"}',  # empty batch
+        '{"kind": "batch", "specs": 5}',  # non-list members
+        '{"kind": "batch", "specs": [{"kind": "nope"}]}',  # bad member
+    ]
+
+    @pytest.mark.parametrize("raw", BAD_SPECS)
+    def test_submit_answers_400(self, raw):
+        warp = WarpSystem()
+        for path in ("/warp/admin/repair", "/warp/admin/repair/preview"):
+            response = _admin(warp, "POST", path, spec=raw)
+            assert response.status == 400, (path, raw, response.body)
+            assert "error" in json.loads(response.body)
+        # Control plane: nothing recorded, no job admitted.
+        assert warp.graph.n_runs == 0
+        assert warp.repair.jobs() == []
+
+    def test_parse_spec_raises_repair_error_only(self):
+        for raw in self.BAD_SPECS:
+            with pytest.raises(RepairError):
+                parse_spec(json.loads(raw))
+
+
+# ---------------------------------------------------------------------------
+# satellite (ISSUE 9): admin-token comparison is constant-time
+# ---------------------------------------------------------------------------
+
+
+class TestAdminTokenTiming:
+    def test_wrong_token_and_missing_token_403(self):
+        warp = WarpSystem(admin_token="s3cret")
+        assert _admin(warp, "GET", "/warp/admin/repair").status == 403
+        assert _admin(warp, "GET", "/warp/admin/repair", token="").status == 403
+        assert _admin(warp, "GET", "/warp/admin/repair", token="s3cre").status == 403
+        assert (
+            _admin(warp, "GET", "/warp/admin/repair", token="s3cret-x").status == 403
+        )
+        assert _admin(warp, "GET", "/warp/admin/repair", token="s3cret").status == 200
+
+    def test_comparison_is_constant_time_by_construction(self):
+        """The token check must go through hmac.compare_digest — an
+        early-exit ``!=`` leaks the matching prefix length per probe."""
+        import inspect
+
+        from repro.http.server import HttpServer
+
+        source = inspect.getsource(HttpServer.handle)
+        assert "compare_digest" in source
+        assert "!= self.admin_token" not in source
+
+
+# ---------------------------------------------------------------------------
+# satellite (ISSUE 9): a plain Exception escaping after the generation
+# switch must not mis-settle the job as failed (double-apply bait)
+# ---------------------------------------------------------------------------
+
+
+from repro.faults.plane import FaultPlane as _FaultPlane
+
+
+class _PlainFailurePlane(_FaultPlane):
+    """Raises a *plain* RuntimeError (not an InjectedFault) at one point:
+    models a non-injected bug — a listener-adjacent data structure blowing
+    up, a broken metrics hook — escaping the entry after the commit."""
+
+    def __init__(self, point):
+        super().__init__()
+        self._point = point
+
+    def fire(self, point, **context):
+        if point == self._point:
+            raise RuntimeError(f"plain failure at {point}")
+        super().fire(point, **context)
+
+
+class TestPostSwitchPlainFailure:
+    def test_plain_exception_after_switch_settles_done(self):
+        """Failing before the ISSUE 9 fix: the repair committed (generation
+        switched) but a plain RuntimeError escaping afterwards settled the
+        job as ``failed`` — inviting the admin to re-submit a spec whose
+        retroactive effect would then apply twice.  The job must settle
+        ``done`` with a post_commit_fault event, exactly like the injected/
+        storage fault kinds already did."""
+        outcome = run_multi_tenant_scenario(
+            n_tenants=2, users_per_tenant=1, attacked_tenants=1, seed=11
+        )
+        warp = outcome.warp
+        warp.faults = _PlainFailurePlane("repair.finalized")
+        job = warp.repair.submit(
+            CancelClientSpec(client_id=outcome.attacker_client)
+        )
+        job.wait(30)
+        assert job.status == "done", repr(job.error)
+        assert job.result().ok
+        assert any(event == "post_commit_fault" for event, _ in job.events)
+        # The repaired state really is live: the defacement is gone.
+        for tenant in outcome.attacked:
+            text = outcome.wiki.page_text(outcome.tenant_page(tenant)) or ""
+            assert "DEFACED" not in text
+        # And the journal shows a completed job, not an interrupted one.
+        assert warp.repair.interrupted_jobs() == []
+
+    def test_cancellation_still_wins_pre_switch(self):
+        """The audit's other half: RepairCanceled is never swallowed into
+        the post-switch settle — a cancel honored before the switch always
+        lands the job in ``canceled``."""
+        outcome = run_multi_tenant_scenario(
+            n_tenants=2, users_per_tenant=1, attacked_tenants=1, seed=12
+        )
+        warp = outcome.warp
+        job = warp.repair.submit(
+            CancelClientSpec(client_id=outcome.attacker_client)
+        )
+        job.cancel()
+        job.wait(30)
+        assert job.status in ("canceled", "done")
+        if job.status == "canceled":
+            with pytest.raises(RepairCanceled):
+                job.result()
