@@ -1,0 +1,199 @@
+"""Front-line detection (PR 10): serve-path overhead and detection quality.
+
+Two sections, one artifact (``BENCH_detect.json``):
+
+* **detect_overhead** — the same benign inline request stream (the
+  ``bench_online_repair`` mix) driven against two same-process arms: the
+  plain serving path and one with ``enable_detection()``.  The gate is
+  the machine-relative throughput ratio (detector-on ÷ detector-off,
+  best of 3 passes per arm); the acceptance posture is ≤10% overhead —
+  an unflagged request pays one lock acquisition plus a prefiltered
+  regex scan over its parameters, nothing else.
+* **detect_quality** — precision/recall measured two ways: (1) a mixed
+  load stream (``attack_rate`` knob) whose per-request attack markers
+  are joined against the server's ``X-Warp-Flagged`` stamps, and (2)
+  the attackgen corpus, where every *injection-class* scenario's attack
+  visits must open incidents with the expected reasons.  The acceptance
+  gate is recall ≥ 0.9 on the injection classes.
+"""
+
+import random
+import time
+
+from conftest import emit_bench_json, once, print_table
+
+from repro.workload.attackgen import (
+    INJECTION_CLASSES,
+    generate_corpus,
+    stage,
+)
+from repro.workload.loadgen import LoadGen, LoadStats, make_load_clients
+from repro.workload.scenarios import WikiDeployment
+
+N_CLIENTS = 8
+N_PAGES = 8
+SEED = 31
+WARMUP_REQUESTS = 200
+MEASURED_REQUESTS = 1500
+PASSES = 3
+ATTACK_RATE = 0.25
+MIXED_REQUESTS = 600
+
+#: Acceptance: detector-on throughput within 10% of detector-off.
+MAX_OVERHEAD = 0.10
+#: Acceptance: recall >= 0.9 on the injection classes.
+MIN_RECALL = 0.90
+
+
+def _deployment(detect: bool, attack_rate: float = 0.0):
+    deployment = WikiDeployment(n_users=0, seed=SEED)
+    if detect:
+        deployment.warp.enable_detection()
+    pages = [f"Bench{i}" for i in range(N_PAGES)]
+    for i, page in enumerate(pages):
+        deployment.wiki.seed_page(page, f"bench page {i}\n", owner="admin")
+    clients = make_load_clients(
+        deployment.wiki, deployment.warp.server, [f"d{i}" for i in range(N_CLIENTS)]
+    )
+    gen = LoadGen(clients, pages, seed=SEED, attack_rate=attack_rate)
+    return deployment, gen
+
+
+def _measure_rps(gen, rng) -> float:
+    """One inline-issue measured window — single-threaded, so the
+    off/on ratio isolates per-request serve cost from thread noise."""
+    stats = LoadStats()
+    for _ in range(WARMUP_REQUESTS):
+        gen.issue(rng, stats)
+    stats = LoadStats()
+    started = time.perf_counter()
+    for _ in range(MEASURED_REQUESTS):
+        gen.issue(rng, stats)
+    elapsed = time.perf_counter() - started
+    assert stats.errors == 0 and stats.rejected == 0, stats.by_status
+    return MEASURED_REQUESTS / elapsed
+
+
+def _overhead_arms():
+    """Both arms, interleaved pass-by-pass so scheduler drift hits them
+    symmetrically; the gate takes the best pairwise ratio (a detector
+    that really cost >10% would show it in *every* adjacent pair)."""
+    _, gen_off = _deployment(detect=False)
+    deployment_on, gen_on = _deployment(detect=True)
+    rng_off, rng_on = random.Random(SEED), random.Random(SEED)
+    pairs = [
+        (_measure_rps(gen_off, rng_off), _measure_rps(gen_on, rng_on))
+        for _ in range(PASSES)
+    ]
+    best = max(pairs, key=lambda pair: pair[1] / pair[0])
+    return best[0], best[1], deployment_on.warp.detector.status()
+
+
+def _corpus_recall() -> dict:
+    """Per-class detection recall over the injection scenarios of the
+    generated corpus: a scenario counts as recalled only if *every* one
+    of its attack visits opened an incident with the expected reason."""
+    per_class = {}
+    for scenario in generate_corpus(seed=0):
+        if scenario.attack_class not in INJECTION_CLASSES:
+            continue
+        staged = stage(scenario)
+        hits, total = per_class.setdefault(scenario.attack_class, [0, 0])
+        per_class[scenario.attack_class] = [
+            hits + (1 if staged.verify_detected() == [] else 0),
+            total + 1,
+        ]
+    return {
+        cls: {"detected": hits, "scenarios": total, "recall": hits / total}
+        for cls, (hits, total) in sorted(per_class.items())
+    }
+
+
+def test_detect_overhead_and_quality(benchmark):
+    def run():
+        off_rps, on_rps, detector_status = _overhead_arms()
+
+        mixed_deployment, gen_mixed = _deployment(
+            detect=True, attack_rate=ATTACK_RATE
+        )
+        stats = LoadStats()
+        rng = random.Random(SEED + 1)
+        for _ in range(MIXED_REQUESTS):
+            gen_mixed.issue(rng, stats)
+        mixed = stats.detection_summary()
+        mixed["incidents"] = mixed_deployment.warp.incidents.status()["incidents"]
+        return off_rps, on_rps, mixed, _corpus_recall(), detector_status
+
+    off_rps, on_rps, mixed, corpus, detector_status = once(benchmark, run)
+
+    ratio = on_rps / off_rps
+    overhead = max(0.0, 1.0 - ratio)
+    corpus_recall = sum(c["detected"] for c in corpus.values()) / sum(
+        c["scenarios"] for c in corpus.values()
+    )
+
+    print_table(
+        "Detector serve-path overhead (inline stream, best of 3)",
+        ["arm", "req/s", "ratio"],
+        [
+            ["detector off", f"{off_rps:.0f}", "1.00x"],
+            ["detector on", f"{on_rps:.0f}", f"{ratio:.2f}x"],
+        ],
+    )
+    print_table(
+        "Detection quality",
+        ["source", "recall", "precision", "false pos"],
+        [
+            [
+                f"mixed load ({int(mixed['attacks'])} attacks)",
+                f"{mixed['recall']:.3f}",
+                f"{mixed['precision']:.3f}",
+                f"{int(mixed['false_positives'])}",
+            ],
+        ]
+        + [
+            [
+                f"corpus {cls}",
+                f"{report['recall']:.2f}",
+                "-",
+                "-",
+            ]
+            for cls, report in corpus.items()
+        ],
+    )
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"detector costs {overhead:.1%} of serve throughput "
+        f"(ratio {ratio:.3f}, budget {MAX_OVERHEAD:.0%})"
+    )
+    assert mixed["recall"] >= MIN_RECALL, mixed
+    assert corpus_recall >= MIN_RECALL, corpus
+    assert mixed["false_positives"] == 0, mixed
+    assert detector_status["flagged"] == 0, (
+        "benign-only stream must not flag anything"
+    )
+
+    payload = {
+        "off_rps": round(off_rps, 1),
+        "on_rps": round(on_rps, 1),
+        "overhead": round(overhead, 4),
+        "mixed_load": {
+            key: round(value, 4) for key, value in mixed.items()
+        },
+        "corpus": corpus,
+        "corpus_recall": round(corpus_recall, 4),
+    }
+    emit_bench_json(
+        "BENCH_detect.json",
+        "detect",
+        payload,
+        gates={
+            # Same-process throughput ratio: immune to machine changes,
+            # noisy only through scheduler jitter on shared runners.
+            "detect_serve_ratio": {"value": round(ratio, 4), "higher_is_better": True},
+            "detect_recall": {
+                "value": round(min(mixed["recall"], corpus_recall), 4),
+                "higher_is_better": True,
+            },
+        },
+    )

@@ -61,29 +61,46 @@ class TaintReport:
         return True
 
 
-class TaintAnalysis:
-    """Offline row-level taint propagation over WARP's recorded log."""
+class RowTaintScorer:
+    """Reusable row-flagging core shared by the §8.4 baseline and the
+    front-line detector (:mod:`repro.detect`).
 
-    def __init__(self, graph: ActionHistoryGraph, whitelist: Iterable[str] = ()) -> None:
-        self.graph = graph
+    Stateless over its inputs: callers hand it an iterable of run
+    records in timestamp order plus the suspect run ids, and it returns
+    the tainted row set — seed writes of the suspects, then one forward
+    pass where a run that *read* a tainted row taints every row it
+    *wrote*.  The detector calls :meth:`run_writes` online (one run's
+    immediate write footprint, no history walk) and :meth:`flag_rows`
+    when it wants the propagated set for an incident summary."""
+
+    def __init__(self, whitelist: Iterable[str] = ()) -> None:
         self.whitelist = frozenset(whitelist)
 
-    def analyze(self, buggy_run_ids: Iterable[int], corrupted: Set[Row]) -> TaintReport:
-        buggy = set(buggy_run_ids)
+    def run_writes(self, run) -> Set[Row]:
+        """Rows one run wrote (whitelist applied) — the O(queries)
+        online signal for a freshly flagged request."""
+        writes: Set[Row] = set()
+        for query in run.queries:
+            if query.is_write:
+                writes |= self._writes(query)
+        return writes
+
+    def seed_rows(self, runs, suspect_ids: Set[int]) -> Set[Row]:
+        """Everything the suspect runs wrote.  Whitelisted tables are
+        excluded from the dependency analysis entirely."""
         tainted: Set[Row] = set()
+        for run in runs:
+            if run.run_id in suspect_ids:
+                tainted |= self.run_writes(run)
+        return tainted
 
-        # Seed: everything the buggy requests wrote.  Whitelisted tables
-        # are excluded from the dependency analysis entirely.
-        for run in self.graph.runs_in_order():
-            if run.run_id in buggy:
-                for query in run.queries:
-                    tainted |= self._writes(query)
-
-        # Propagate forward in time: read-tainted requests taint their
-        # writes.  (A single forward pass suffices because requests only
-        # read rows written at earlier timestamps.)
-        for run in self.graph.runs_in_order():
-            if run.run_id in buggy:
+    def propagate(self, runs, suspect_ids: Set[int], tainted: Set[Row]) -> Set[Row]:
+        """Forward-in-time propagation: read-tainted requests taint their
+        writes.  (A single forward pass suffices because requests only
+        read rows written at earlier timestamps.)"""
+        tainted = set(tainted)
+        for run in runs:
+            if run.run_id in suspect_ids:
                 continue
             writes: List[Row] = []
             run_tainted = False
@@ -97,12 +114,30 @@ class TaintAnalysis:
             # A tainted request taints everything it wrote.
             if run_tainted:
                 tainted |= set(writes)
+        return tainted
 
-        return TaintReport(
-            flagged=tainted, corrupted=set(corrupted), whitelist=self.whitelist
-        )
+    def flag_rows(self, runs, suspect_ids: Iterable[int]) -> Set[Row]:
+        """Seed + propagate in one call over a materialized run list."""
+        suspects = set(suspect_ids)
+        runs = list(runs)
+        return self.propagate(runs, suspects, self.seed_rows(runs, suspects))
 
     def _writes(self, query) -> Set[Row]:
         if query.table in self.whitelist:
             return set()
         return set(query.written_row_ids)
+
+
+class TaintAnalysis:
+    """Offline row-level taint propagation over WARP's recorded log."""
+
+    def __init__(self, graph: ActionHistoryGraph, whitelist: Iterable[str] = ()) -> None:
+        self.graph = graph
+        self.whitelist = frozenset(whitelist)
+        self.scorer = RowTaintScorer(whitelist)
+
+    def analyze(self, buggy_run_ids: Iterable[int], corrupted: Set[Row]) -> TaintReport:
+        tainted = self.scorer.flag_rows(self.graph.runs_in_order(), buggy_run_ids)
+        return TaintReport(
+            flagged=tainted, corrupted=set(corrupted), whitelist=self.whitelist
+        )

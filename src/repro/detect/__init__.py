@@ -1,0 +1,35 @@
+"""Front-line detection: request scoring, durable incidents, and
+continuously refreshed blast-radius previews (detect → preview →
+one-click repair)."""
+
+from repro.detect.incidents import (
+    OPEN_STATUSES,
+    IncidentManager,
+    PreviewRefresher,
+)
+from repro.detect.rules import (
+    AclSelfGrantRule,
+    DetectionResult,
+    Detector,
+    Finding,
+    InjectionSignatureRule,
+    ParamShapeRule,
+    Rule,
+    SessionMisuseRule,
+    default_rules,
+)
+
+__all__ = [
+    "AclSelfGrantRule",
+    "DetectionResult",
+    "Detector",
+    "Finding",
+    "IncidentManager",
+    "InjectionSignatureRule",
+    "OPEN_STATUSES",
+    "ParamShapeRule",
+    "PreviewRefresher",
+    "Rule",
+    "SessionMisuseRule",
+    "default_rules",
+]

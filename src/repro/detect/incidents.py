@@ -1,0 +1,283 @@
+"""Incident lifecycle: flagged visits with continuously refreshed
+blast-radius previews.
+
+A flagged request opens an *incident* — one per suspect (client, visit)
+pair; repeated flagged requests in the same visit merge into it.  Every
+incident carries the derived :class:`~repro.repair.api.RepairSpec`
+(cancel the suspect visit, or the whole client when no visit id was
+presented), so the operator story is one hop: inspect the preview,
+``POST .../repair``, done.
+
+Incidents are durable: records live in :class:`RecordStore.incidents`,
+journaled under the ``incident``/``incident_update`` WAL kinds, so they
+survive ``save``/``load`` and crash recovery exactly like runs do.
+
+Preview-refresh contract (the lock-starvation fix): the refresher takes
+the store lock **per incident** — snapshot the open ids, then for each
+one acquire the lock, compute one plan, release, and only then move to
+the next.  The lock is never held across the whole sweep, so live
+writes interleave between plans instead of starving behind them; the
+``detect.preview`` fault point fires *inside* the per-incident critical
+section so a stall fault models exactly one slow plan.  A preview is
+recomputed only when the graph grew since the last one (run-count
+stamp), bounding WAL growth under a quiet graph.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.core.errors import ReproError
+from repro.faults.plane import FaultPlane, InjectedFault
+from repro.faults.plane import active as _active_plane
+from repro.repair.api import (
+    CancelClientSpec,
+    CancelVisitSpec,
+    _compute_plan_locked,
+    parse_spec,
+)
+
+from repro.detect.rules import DetectionResult
+
+#: Incident statuses.  ``open`` and ``repairing`` previews keep
+#: refreshing; ``resolved``/``dismissed`` are terminal.
+OPEN_STATUSES = ("open", "repairing")
+
+
+def _compact_preview(plan) -> dict:
+    """The operator-facing subset of a RepairPlan — small enough to
+    journal on every refresh."""
+    return {
+        "futile": plan.futile,
+        "seed_runs": plan.seed_runs,
+        "n_groups": plan.n_groups,
+        "affected_runs": plan.affected_runs,
+        "affected_clients": list(plan.affected_clients)[:8],
+        "affected_partitions": plan.affected_partitions,
+        "total_runs": plan.total_runs,
+        "estimated_reexec_fraction": round(plan.estimated_reexec_fraction, 4),
+    }
+
+
+class IncidentManager:
+    """Owns the incident records in the graph's store: opening, preview
+    refresh, lifecycle transitions, and spec derivation."""
+
+    def __init__(self, graph, ttdb, fault_plane: Optional[FaultPlane] = None):
+        self.graph = graph
+        self.ttdb = ttdb
+        self.faults = fault_plane if fault_plane is not None else _active_plane()
+        self._open_lock = threading.Lock()
+
+    @property
+    def store(self):
+        # Resolved through the graph on every use: ``restore_snapshot``
+        # swaps the backing store object, and incidents must follow it.
+        return self.graph.store
+
+    # -- opening -------------------------------------------------------------
+
+    def open_incident(self, result: DetectionResult, record) -> dict:
+        """Open an incident for a flagged request's recorded run, or
+        merge into the open incident already covering its visit."""
+        client_id = record.client_id
+        visit_id = record.visit_id
+        reasons = sorted(set(result.reasons))
+        with self._open_lock, self.store.lock:
+            existing = self._open_for(client_id, visit_id)
+            if existing is not None:
+                merged = sorted(set(existing.get("reasons", ())) | set(reasons))
+                run_ids = list(existing.get("run_ids", ()))
+                if record.run_id not in run_ids:
+                    run_ids.append(record.run_id)
+                self.store.log_incident_update(
+                    existing["incident_id"],
+                    {
+                        "score": max(existing.get("score", 0.0), result.score),
+                        "reasons": merged,
+                        "run_ids": run_ids,
+                    },
+                )
+                return self.store.incidents[existing["incident_id"]]
+            incident_id = f"inc-{self.store.next_incident_seq()}"
+            entry = {
+                "incident_id": incident_id,
+                "ts": record.ts_start,
+                "client_id": client_id,
+                "visit_id": visit_id,
+                "run_ids": [record.run_id],
+                "path": record.request.path,
+                "script": record.script,
+                "score": result.score,
+                "reasons": reasons,
+                "status": "open",
+                "spec": self._derive_spec(client_id, visit_id),
+                "preview": None,
+                "preview_stamp": None,
+                "job_id": None,
+            }
+            self.store.log_incident(entry)
+            return self.store.incidents[incident_id]
+
+    def _open_for(self, client_id, visit_id) -> Optional[dict]:
+        if client_id is None:
+            return None
+        for entry in self.store.incidents.values():
+            if (
+                entry.get("status") in OPEN_STATUSES
+                and entry.get("client_id") == client_id
+                and entry.get("visit_id") == visit_id
+            ):
+                return entry
+        return None
+
+    @staticmethod
+    def _derive_spec(client_id, visit_id) -> Optional[dict]:
+        if client_id is None:
+            return None
+        if visit_id:
+            return CancelVisitSpec(
+                client_id=client_id,
+                visit_id=int(visit_id),
+                initiated_by_admin=True,
+            ).to_dict()
+        return CancelClientSpec(client_id=client_id).to_dict()
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, incident_id: str) -> Optional[dict]:
+        with self.store.lock:
+            entry = self.store.incidents.get(incident_id)
+            return dict(entry) if entry is not None else None
+
+    def list(self, status: Optional[str] = None) -> List[dict]:
+        def seq(incident_id: str) -> int:
+            _, _, tail = incident_id.rpartition("-")
+            return int(tail) if tail.isdigit() else 0
+
+        with self.store.lock:
+            entries = [
+                dict(entry)
+                for entry in self.store.incidents.values()
+                if status is None or entry.get("status") == status
+            ]
+        entries.sort(key=lambda e: seq(e["incident_id"]))
+        return entries
+
+    def open_incidents(self) -> List[dict]:
+        return [e for e in self.list() if e["status"] in OPEN_STATUSES]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def mark_repairing(self, incident_id: str, job_id: str) -> None:
+        self.store.log_incident_update(
+            incident_id, {"status": "repairing", "job_id": job_id}
+        )
+
+    def resolve(self, incident_id: str, ok: bool) -> None:
+        self.store.log_incident_update(
+            incident_id, {"status": "resolved" if ok else "open"}
+        )
+
+    def dismiss(self, incident_id: str) -> None:
+        self.store.log_incident_update(incident_id, {"status": "dismissed"})
+
+    # -- preview refresh -----------------------------------------------------
+
+    def refresh_once(self, force: bool = False) -> int:
+        """Refresh the blast-radius preview of every open incident.
+
+        Returns how many previews were recomputed.  See the module
+        docstring for the locking contract — the store lock is taken per
+        incident, never across the sweep."""
+        refreshed = 0
+        for entry in self.open_incidents():
+            incident_id = entry["incident_id"]
+            spec_data = entry.get("spec")
+            if not spec_data:
+                continue
+            stamp = len(self.store.runs)
+            if not force and entry.get("preview_stamp") == stamp:
+                continue
+            try:
+                spec = parse_spec(spec_data)
+                with self.store.lock:
+                    # The fault point sits inside the critical section:
+                    # a "stall" rule here models one slow compute_plan
+                    # holding the lock — the starvation scenario the
+                    # per-incident acquisition bounds.
+                    self.faults.fire("detect.preview", incident=incident_id)
+                    plan = _compute_plan_locked(self.graph, self.ttdb, spec, None)
+            except (ReproError, InjectedFault, OSError) as exc:
+                self.store.log_incident_update(
+                    incident_id, {"preview_error": str(exc)}
+                )
+                continue
+            self.store.log_incident_update(
+                incident_id,
+                {
+                    "preview": _compact_preview(plan),
+                    "preview_stamp": stamp,
+                    "preview_error": None,
+                },
+            )
+            refreshed += 1
+            # Releasing the lock is not enough: CPython lock release does
+            # not hand off, so without a GIL yield here the sweep barges
+            # straight back in and a writer parked on the store lock
+            # still waits out every plan.
+            time.sleep(0)
+        return refreshed
+
+    def status(self) -> dict:
+        with self.store.lock:
+            counts: Dict[str, int] = {}
+            for entry in self.store.incidents.values():
+                counts[entry.get("status", "open")] = (
+                    counts.get(entry.get("status", "open"), 0) + 1
+                )
+        return {"incidents": sum(counts.values()), "by_status": counts}
+
+
+class PreviewRefresher:
+    """Background daemon continuously materializing previews for open
+    incidents — the ``GET /warp/admin/incidents`` view is always at most
+    one interval stale."""
+
+    def __init__(self, manager: IncidentManager, interval: float = 0.1) -> None:
+        self.manager = manager
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.sweeps = 0
+
+    def start(self) -> "PreviewRefresher":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="incident-preview-refresher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.manager.refresh_once()
+            except Exception:
+                # The refresher must never die to a single bad plan; the
+                # per-incident error capture above handles expected
+                # failures, this is the belt for unexpected ones.
+                pass
+            self.sweeps += 1
+            self._stop.wait(self.interval)

@@ -30,6 +30,12 @@ Error kinds and what they model:
     :class:`TornWrite` — a crash in the middle of a write: a prefix of
     the payload reaches the file (the classic torn WAL tail), then the
     process dies.
+``stall``
+    A slow component rather than a broken one: ``fire()`` sleeps for
+    ``fraction`` seconds and returns normally.  Used to model slow
+    repair-plan computation (``detect.preview``) and other latency
+    faults where the interesting failure is lock starvation, not an
+    exception.
 
 Rule exhaustion is how "the fault clears": a rule with ``times=3`` stops
 firing after its third injection, and the self-healing machinery
@@ -44,10 +50,11 @@ from __future__ import annotations
 import errno
 import json
 import threading
+import time
 from typing import Dict, Iterable, List, Optional
 
 #: Recognised error kinds (see module docstring).
-FAULT_KINDS = ("io", "disk_full", "error", "crash", "torn")
+FAULT_KINDS = ("io", "disk_full", "error", "crash", "torn", "stall")
 
 #: Catalog of instrumented fault points.  Kept in sync with the
 #: "Failure model" section of DESIGN.md; tests assert membership so a
@@ -70,6 +77,7 @@ FAULT_POINTS = (
     "sqlite.commit",  # SQLite engine checkpoint (meta flush + WAL truncate)
     "shard.dispatch",  # coordinator about to dispatch one shard's repair job
     "shard.merge",  # coordinator about to merge fan-out results
+    "detect.preview",  # incident preview refresh about to compute one plan
 )
 
 
@@ -149,7 +157,7 @@ class FaultRule:
     def to_dict(self) -> dict:
         out = {"point": self.point, "kind": self.kind, "after": self.after}
         out["times"] = self.times
-        if self.kind == "torn" and self.fraction != 0.5:
+        if self.kind in ("torn", "stall") and self.fraction != 0.5:
             out["fraction"] = self.fraction
         return out
 
@@ -243,6 +251,10 @@ class FaultPlane:
             self.last_fault = event
             kind = winner.kind
             fraction = winner.fraction
+        if kind == "stall":
+            # A latency fault, not a failure: sleep and carry on.
+            time.sleep(fraction)
+            return
         if kind == "io":
             raise InjectedIOError(errno.EIO, point)
         if kind == "disk_full":

@@ -74,6 +74,13 @@ class HttpServer:
         #: with 421 so a mis-route cannot silently split one logical
         #: partition's history across two shards.  None = unsharded.
         self.shard_id: Optional[int] = None
+        #: Front-line detector (repro.detect.Detector); None scores
+        #: nothing.  Flagged requests are still served — WARP's promise
+        #: is recording + retroactive repair, not blocking — but they
+        #: bypass the response cache and open an incident once recorded.
+        self.detector = None
+        #: Incident sink (repro.detect.IncidentManager) for flagged runs.
+        self.incident_manager = None
         #: Degraded-mode state machine (repro.faults.health.HealthMonitor),
         #: installed by WarpSystem.  When set, non-GET requests are refused
         #: with 503 while the system is read-only, and durability failures
@@ -230,6 +237,14 @@ class HttpServer:
         if script_name is None:
             return HttpResponse(status=404, body=f"no route for {request.path}")
 
+        # Front-line detection scores the routed request up front (the
+        # rules only look at the request surface); the verdict is used
+        # twice below — flagged requests never touch the response cache,
+        # and their recorded runs open incidents.
+        detector = self.detector
+        detection = detector.score(request) if detector is not None else None
+        flagged = detection is not None and detection.flagged
+
         # Degraded read-only mode: writes are refused before any side
         # effect (gate queueing included); reads flow on.  The health
         # monitor probes for healing first, so this is also the exit path
@@ -278,6 +293,7 @@ class HttpServer:
             and (gate is None or not gate.active)
             and not invalidated
             and not pending_conflicts
+            and not flagged
         )
         if use_cache:
             hit = cache.begin_hit(script_name, request)
@@ -305,6 +321,10 @@ class HttpServer:
                 response.set_cookies.setdefault(name, None)
         if pending_conflicts:
             response.headers["X-Warp-Conflicts"] = str(pending_conflicts)
+        if flagged:
+            # Operator-visible flag stamp; load drivers use it to join
+            # issued attacks against detector verdicts (precision/recall).
+            response.headers["X-Warp-Flagged"] = "1"
 
         if self.recording:
             try:
@@ -318,6 +338,11 @@ class HttpServer:
                 with self._state_lock:
                     if self._repair_active:
                         self.pending_during_repair.append(record.run_id)
+            if flagged and self.incident_manager is not None:
+                try:
+                    self.incident_manager.open_incident(detection, record)
+                except DurabilityError as exc:
+                    return self._durability_failure(exc)
             if use_cache and cache.cacheable(record):
                 try:
                     cache.put(script_name, request, record, token)

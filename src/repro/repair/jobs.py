@@ -565,6 +565,12 @@ class AdminApi:
         GET  /warp/admin/repair/<id>/preview  dry-run the job's spec
         POST /warp/admin/repair/<id>/cancel   cooperative cancel
         GET  /warp/admin/conflicts            pending conflict queue
+        GET  /warp/admin/incidents            detector incidents + previews
+                                              (?status= filter, ?refresh=1
+                                              recompute previews first)
+        GET  /warp/admin/incidents/<id>       one incident's full record
+        POST /warp/admin/incidents/<id>/repair   submit its spec -> 202
+        POST /warp/admin/incidents/<id>/dismiss  close a false positive
         GET  /warp/admin/health               serving mode, WAL lag, pool
                                               depth, last fault (503 body
                                               while degraded)
@@ -586,6 +592,9 @@ class AdminApi:
 
     def __init__(self, manager: RepairJobManager) -> None:
         self._manager = manager
+        #: Incident surface (repro.detect.IncidentManager); installed by
+        #: ``WarpSystem.enable_detection``, 404s until then.
+        self.incident_manager = None
 
     def handle(self, request: HttpRequest) -> HttpResponse:
         path = request.path
@@ -661,6 +670,78 @@ class AdminApi:
             return _json_response(
                 {"pending": [c.to_dict() for c in conflicts.pending()]}
             )
+        if tail == "/incidents":
+            if request.method != "GET":
+                return _error(405, "incidents listing is GET")
+            incidents = self.incident_manager
+            if incidents is None:
+                return _error(404, "detection is not enabled on this deployment")
+            if request.params.get("refresh"):
+                incidents.refresh_once(force=bool(request.params.get("force")))
+            entries = [
+                self._reconcile_incident(entry)
+                for entry in incidents.list(status=request.params.get("status"))
+            ]
+            status = incidents.status()
+            return _json_response(
+                {
+                    "incidents": entries,
+                    "n_incidents": status["incidents"],
+                    "by_status": status["by_status"],
+                }
+            )
+        if tail.startswith("/incidents/"):
+            incidents = self.incident_manager
+            if incidents is None:
+                return _error(404, "detection is not enabled on this deployment")
+            rest = tail[len("/incidents/"):]
+            incident_id, _, action = rest.partition("/")
+            entry = incidents.get(incident_id)
+            if entry is None:
+                return _error(404, f"unknown incident {incident_id!r}")
+            if not action:
+                if request.method != "GET":
+                    return _error(405, "incident status is GET")
+                return _json_response(self._reconcile_incident(entry))
+            if action == "repair":
+                if request.method != "POST":
+                    return _error(405, "incident repair is POST")
+                entry = self._reconcile_incident(entry)
+                if entry.get("status") == "repairing" and entry.get("job_id"):
+                    # Idempotent: the suspect is already under repair.
+                    return _json_response(
+                        {
+                            "incident_id": incident_id,
+                            "job_id": entry["job_id"],
+                            "status": "repairing",
+                        },
+                        202,
+                    )
+                spec_data = entry.get("spec")
+                if not spec_data:
+                    return _error(
+                        400,
+                        f"incident {incident_id!r} has no derivable repair "
+                        "spec (no client identity on the flagged request)",
+                    )
+                job = manager.submit(parse_spec(spec_data))
+                incidents.mark_repairing(incident_id, job.job_id)
+                return _json_response(
+                    {
+                        "incident_id": incident_id,
+                        "job_id": job.job_id,
+                        "status": job.status,
+                    },
+                    202,
+                )
+            if action == "dismiss":
+                if request.method != "POST":
+                    return _error(405, "dismiss is POST")
+                incidents.dismiss(incident_id)
+                return _json_response(
+                    {"incident_id": incident_id, "status": "dismissed"}
+                )
+            return _error(404, f"unknown incident action {action!r}")
         if tail.startswith("/repair/"):
             rest = tail[len("/repair/"):]
             job_id, _, action = rest.partition("/")
@@ -709,6 +790,19 @@ class AdminApi:
             warp.save(path)
             return _json_response({"saved": path})
         return _error(404, f"unknown admin path {ADMIN_PREFIX}{tail}")
+
+    def _reconcile_incident(self, entry: dict) -> dict:
+        """Lazy lifecycle reconciliation on read: an incident whose
+        repair job reached a terminal state flips to ``resolved`` (job
+        done) or back to ``open`` (job failed/aborted/canceled — the
+        suspect damage is still there)."""
+        if entry.get("status") != "repairing" or not entry.get("job_id"):
+            return entry
+        job = self._manager.get(entry["job_id"])
+        if job is None or job.status not in _TERMINAL:
+            return entry
+        self.incident_manager.resolve(entry["incident_id"], job.status == "done")
+        return self.incident_manager.get(entry["incident_id"]) or entry
 
     def _spec_from(self, request: HttpRequest) -> RepairSpec:
         raw = request.params.get("spec")

@@ -493,6 +493,46 @@ class ShardCoordinator:
             if request.method != "POST":
                 return _json(405, {"error": "plan is POST"})
             return _json(200, self.plan(self._spec_from(request)))
+        if tail == "/incidents":
+            # Union view over every worker's detector incidents; shard
+            # identity is stamped onto each entry so the operator can
+            # address the owning worker (?shard=N) for the repair click.
+            if request.method != "GET":
+                return _json(405, {"error": "incidents view is GET"})
+            params = {
+                key: request.params[key]
+                for key in ("status", "refresh", "force")
+                if key in request.params
+            }
+            incidents: List[dict] = []
+            per_shard: Dict[str, dict] = {}
+            for shard, client in sorted(self.clients.items()):
+                status, payload = client.admin_json(
+                    "GET", "/warp/admin/incidents", params or None
+                )
+                if status != 200:
+                    per_shard[str(shard)] = {
+                        "status": status,
+                        "error": payload.get("error"),
+                    }
+                    continue
+                entries = payload.get("incidents", [])
+                for entry in entries:
+                    entry = dict(entry)
+                    entry["shard"] = shard
+                    incidents.append(entry)
+                per_shard[str(shard)] = {
+                    "status": status,
+                    "incidents": len(entries),
+                }
+            return _json(
+                200,
+                {
+                    "incidents": incidents,
+                    "per_shard": per_shard,
+                    "n_incidents": len(incidents),
+                },
+            )
         if tail == "/save":
             if request.method != "POST":
                 return _json(405, {"error": "save is POST"})

@@ -241,6 +241,13 @@ class RecordStore:
         self.pending_repair_jobs: Dict[str, dict] = {}
         self._ended_repair_jobs: Set[str] = set()
 
+        #: Detector incidents by id — full lifecycle records (``open`` →
+        #: ``repairing`` → ``resolved``/``dismissed``) carrying the
+        #: suspect visit, derived repair spec, and last blast-radius
+        #: preview.  Journaled (``incident``/``incident_update``) so a
+        #: flagged visit's state survives save/load and crash recovery.
+        self.incidents: Dict[str, dict] = {}
+
         # -- striped locking ---------------------------------------------------
         # Lock-order contract (DESIGN.md "Striped store locking"): writers
         # hold ``records`` for the whole mutation and take ``touch`` /
@@ -659,6 +666,49 @@ class RecordStore:
             )
             return highest + 1
 
+    # ------------------------------------------------------------------ incidents
+
+    def log_incident(self, entry: dict) -> None:
+        """Journal a new detector incident (full record upsert).  The
+        entry must carry ``incident_id``; everything else (suspect visit,
+        rule, derived spec, preview) is opaque to the store."""
+        ticket = None
+        with self._records_lock:
+            self.incidents[entry["incident_id"]] = dict(entry)
+            if self.wal is not None:
+                ticket = self.wal.append("incident", entry)
+        self._finish(ticket)
+
+    def log_incident_update(self, incident_id: str, fields: dict) -> None:
+        """Journal a partial update (status flip, refreshed preview)
+        merged over the stored incident.  Unknown ids are ignored — an
+        update can race a snapshot that never saw the incident."""
+        ticket = None
+        with self._records_lock:
+            record = self.incidents.get(incident_id)
+            if record is None:
+                return
+            record.update(fields)
+            if self.wal is not None:
+                ticket = self.wal.append(
+                    "incident_update",
+                    {"incident_id": incident_id, "fields": fields},
+                )
+        self._finish(ticket)
+
+    def next_incident_seq(self) -> int:
+        """First incident sequence number not used by any recorded
+        incident (ids must stay unique across crash recovery)."""
+
+        def seq_of(incident_id: str) -> int:
+            _, _, tail = incident_id.rpartition("-")
+            return int(tail) if tail.isdigit() else 0
+
+        with self._records_lock:
+            return max(
+                (seq_of(incident_id) for incident_id in self.incidents), default=0
+            ) + 1
+
     def replace_run(self, run_id: int, record: AppRunRecord) -> Optional[AppRunRecord]:
         """Swap the stored record for ``run_id`` with ``record`` in place.
 
@@ -984,6 +1034,11 @@ class RecordStore:
                     self.pending_repair_jobs[job_id]
                     for job_id in sorted(self.pending_repair_jobs)
                 ]
+            if self.incidents:
+                snapshot["incidents"] = [
+                    self.incidents[incident_id]
+                    for incident_id in sorted(self.incidents)
+                ]
             return snapshot
 
     @classmethod
@@ -1004,6 +1059,8 @@ class RecordStore:
             store.pending_gate_queue[item["ticket"]] = item
         for item in data.get("repair_jobs", ()):
             store.pending_repair_jobs[item["job_id"]] = item
+        for item in data.get("incidents", ()):
+            store.incidents[item["incident_id"]] = dict(item)
         store.wal = wal
         return store
 
@@ -1216,3 +1273,11 @@ class RecordStore:
         elif kind == "job_end":
             self._ended_repair_jobs.add(data["job_id"])
             self.pending_repair_jobs.pop(data["job_id"], None)
+        elif kind == "incident":
+            # Upsert + chronological merge converge on re-replay over a
+            # snapshot that already holds the incident.
+            self.incidents[data["incident_id"]] = dict(data)
+        elif kind == "incident_update":
+            record = self.incidents.get(data["incident_id"])
+            if record is not None:
+                record.update(data["fields"])

@@ -205,6 +205,13 @@ class WarpSystem:
         #: Optional bounded ServerPool serving this deployment; set by the
         #: operator/benches so the health endpoint can report pool depth.
         self.serving_pool = None
+        #: Front-line detection (repro.detect), installed by
+        #: :meth:`enable_detection`; inert (and zero-cost on the serve
+        #: path) until then.
+        self.detector = None
+        self.incidents = None
+        self.preview_refresher = None
+        self.detection_refresh_interval: Optional[float] = None
         #: Script versions the persisted deployment had (set by ``load``);
         #: repair refuses to run until re-registered code catches up.
         self._expected_script_versions: Dict[str, int] = {}
@@ -268,6 +275,37 @@ class WarpSystem:
         self.server.gate = RepairGate(self.ttdb, self.graph, policy=policy)
         self.server.gate.faults = self.faults
         return self.server.gate
+
+    def enable_detection(
+        self,
+        rules=None,
+        threshold: float = 1.0,
+        refresh_interval: Optional[float] = None,
+    ):
+        """Install the front-line detector (repro.detect): every routed
+        request is scored against the rule chain, flagged runs open
+        WAL-journaled incidents, and ``/warp/admin/incidents`` exposes
+        each suspect's continuously refreshed blast-radius preview with
+        one-click repair.  ``refresh_interval`` starts the background
+        :class:`~repro.detect.PreviewRefresher` (None = previews refresh
+        on admin reads only).  Custom ``rules`` are code and — like
+        application scripts — are not serialized; a reloaded deployment
+        comes back with the default rule chain."""
+        from repro.detect import Detector, IncidentManager, PreviewRefresher
+
+        self.detector = Detector(rules=rules, threshold=threshold)
+        self.incidents = IncidentManager(
+            self.graph, self.ttdb, fault_plane=self.faults
+        )
+        self.server.detector = self.detector
+        self.server.incident_manager = self.incidents
+        self.repair.admin.incident_manager = self.incidents
+        self.detection_refresh_interval = refresh_interval
+        if refresh_interval is not None:
+            self.preview_refresher = PreviewRefresher(
+                self.incidents, interval=refresh_interval
+            ).start()
+        return self.detector
 
     # -- clients -----------------------------------------------------------------
 
@@ -428,6 +466,17 @@ class WarpSystem:
                 "backend": self.db_backend,
                 "db_path": self.db_path,
             },
+            # Detection survives reload: a deployment that was flagging
+            # requests keeps flagging (incident records themselves travel
+            # in the graph snapshot; custom rule *code* does not, same
+            # contract as application scripts).
+            "detection_config": {
+                "enabled": self.detector is not None,
+                "threshold": (
+                    self.detector.threshold if self.detector is not None else 1.0
+                ),
+                "refresh_interval": self.detection_refresh_interval,
+            },
             # Serving-path knobs survive reload the same way: a deployment
             # tuned for group commit + caching keeps that envelope.
             "serving_config": {
@@ -535,6 +584,12 @@ class WarpSystem:
                 policy=repair_config.get("gate_policy", "partition")
             )
         warp.server.admin_token = repair_config.get("admin_token")
+        detection_config = state.get("detection_config", {})
+        if detection_config.get("enabled"):
+            warp.enable_detection(
+                threshold=detection_config.get("threshold", 1.0),
+                refresh_interval=detection_config.get("refresh_interval"),
+            )
         return warp
 
     # -- per-shard persistence layout (repro.shard) --------------------------

@@ -36,6 +36,17 @@ from repro.http.message import HttpRequest, HttpResponse
 #: Default operation mix (weights): mostly reads, a steady write stream.
 DEFAULT_MIX = {"view_form": 5, "append": 3, "index": 0}
 
+#: Attack payloads the ``attack_rate`` knob rotates through — detectable
+#: by the front-line signatures but state-safe under load (the tautology
+#: only reads, the UNION is rejected by the dialect, and the piggyback's
+#: UPDATE matches zero rows), so attack-mixed runs stay comparable to
+#: clean ones on everything but detection counters.
+ATTACK_PAYLOADS = (
+    ("tautology", "xx' OR 'x'='x"),
+    ("union", "xx' UNION SELECT password FROM users --"),
+    ("piggyback", "zz'; UPDATE i18n SET value = value WHERE lang = 'zz-none'; --"),
+)
+
 
 @dataclass
 class LoadStats:
@@ -61,6 +72,14 @@ class LoadStats:
     tickets: List[int] = field(default_factory=list)
     #: (marker, page) of every issued write, for exactly-once checks.
     writes: List[Tuple[str, str]] = field(default_factory=list)
+    #: (marker, payload class) of every issued attack request.
+    attacks: List[Tuple[str, str]] = field(default_factory=list)
+    #: Per-request join of the attack markers against the server's
+    #: ``X-Warp-Flagged`` stamp (see :meth:`detection_summary`).
+    attack_true_positives: int = 0
+    attack_false_negatives: int = 0
+    benign_total: int = 0
+    benign_flagged: int = 0
 
     @property
     def total(self) -> int:
@@ -136,6 +155,38 @@ class LoadStats:
         else:
             self.errors += 1
 
+    def note_detection(self, is_attack: bool, flagged: bool) -> None:
+        """Tally one request into the detection confusion counters."""
+        if is_attack:
+            if flagged:
+                self.attack_true_positives += 1
+            else:
+                self.attack_false_negatives += 1
+        else:
+            self.benign_total += 1
+            if flagged:
+                self.benign_flagged += 1
+
+    def detection_summary(self) -> Dict[str, float]:
+        """Precision/recall of the front-line detector over this run —
+        the join is per request (attack marker vs the server's
+        ``X-Warp-Flagged`` response stamp), so a benign request flagged
+        by coincidence is a real false positive, not noise."""
+        attacks = self.attack_true_positives + self.attack_false_negatives
+        flagged = self.attack_true_positives + self.benign_flagged
+        return {
+            "attacks": float(attacks),
+            "benign": float(self.benign_total),
+            "flagged": float(flagged),
+            "recall": (
+                self.attack_true_positives / attacks if attacks else 1.0
+            ),
+            "precision": (
+                self.attack_true_positives / flagged if flagged else 1.0
+            ),
+            "false_positives": float(self.benign_flagged),
+        }
+
     def availability(self) -> Dict[str, float]:
         """Served-fraction report with the rejection reasons broken out.
 
@@ -174,6 +225,11 @@ class LoadStats:
         self.completions.extend(other.completions)
         self.tickets.extend(other.tickets)
         self.writes.extend(other.writes)
+        self.attacks.extend(other.attacks)
+        self.attack_true_positives += other.attack_true_positives
+        self.attack_false_negatives += other.attack_false_negatives
+        self.benign_total += other.benign_total
+        self.benign_flagged += other.benign_flagged
         for status, count in other.by_status.items():
             self.by_status[status] = self.by_status.get(status, 0) + count
         for error_class, count in other.error_classes.items():
@@ -252,6 +308,13 @@ class LoadGen:
     sitestats ``COUNT(*)`` reads ALL partitions and therefore always
     conflicts with any page repair: include it to measure conservative
     gating).  ``pages`` is the partition universe the stream touches.
+
+    ``attack_rate`` mixes attacker traffic into the stream: each request
+    is, with that probability, one of :data:`ATTACK_PAYLOADS` through
+    the §8.5 injection sink instead of a benign operation.  Attack
+    requests carry an ``X-Load-Attack`` marker header, and every
+    response's ``X-Warp-Flagged`` stamp is joined against it — the
+    per-request ground truth behind :meth:`LoadStats.detection_summary`.
     """
 
     def __init__(
@@ -261,6 +324,7 @@ class LoadGen:
         mix: Optional[Dict[str, int]] = None,
         seed: int = 0,
         pin_clients: bool = True,
+        attack_rate: float = 0.0,
     ) -> None:
         if not clients or not pages:
             raise ValueError("loadgen needs at least one client and one page")
@@ -268,6 +332,9 @@ class LoadGen:
         self.pages = list(pages)
         self.mix = dict(mix or DEFAULT_MIX)
         self.seed = seed
+        if not 0.0 <= attack_rate <= 1.0:
+            raise ValueError("attack_rate must be within [0, 1]")
+        self.attack_rate = attack_rate
         self._ops = [op for op, weight in sorted(self.mix.items()) for _ in range(weight)]
         if not self._ops:
             raise ValueError("empty operation mix")
@@ -300,6 +367,15 @@ class LoadGen:
         clients: Optional[Sequence[LoadClient]] = None,
     ) -> Tuple[LoadClient, HttpRequest]:
         client = rng.choice(clients if clients is not None else self.clients)
+        if self.attack_rate and rng.random() < self.attack_rate:
+            payload_class, payload = rng.choice(ATTACK_PAYLOADS)
+            marker = f"atk{self._next_marker()}"
+            stats.attacks.append((marker, payload_class))
+            request = client.request(
+                "GET", "/special_maintenance.php", {"thelang": payload}
+            )
+            request.headers["X-Load-Attack"] = f"{marker}:{payload_class}"
+            return client, request
         page = rng.choice(self._pages_of[client.client_id])
         op = rng.choice(self._ops)
         if op == "append":
@@ -320,9 +396,13 @@ class LoadGen:
     ) -> HttpResponse:
         """Issue one request inline (cooperative harness building block)."""
         client, request = self.build_request(rng, stats, clients)
+        is_attack = "X-Load-Attack" in request.headers
         started = _time.perf_counter()
         response = client.send(request)
         stats.note(response, _time.perf_counter() - started)
+        stats.note_detection(
+            is_attack, response.headers.get("X-Warp-Flagged") == "1"
+        )
         return response
 
     # -- threaded mode -----------------------------------------------------
